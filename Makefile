@@ -1,0 +1,42 @@
+# Convenience targets for the PMSB reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench reproduce quick-reproduce examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus engine micro-benchmarks.
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Regenerate every table and figure at full fidelity (~10 minutes).
+reproduce:
+	$(GO) run ./cmd/pmsbsim -all > results_full.txt
+	@echo "results written to results_full.txt"
+
+# The same sweep with reduced durations (~1 minute).
+quick-reproduce:
+	$(GO) run ./cmd/pmsbsim -all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multiservice
+	$(GO) run ./examples/schedulers
+	$(GO) run ./examples/deadlines
+	$(GO) run ./examples/leafspine
+
+clean:
+	$(GO) clean ./...

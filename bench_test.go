@@ -1,0 +1,209 @@
+package pmsb_test
+
+import (
+	"testing"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/experiment"
+	"pmsb/internal/netsim"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sched"
+	"pmsb/internal/sim"
+	"pmsb/internal/topo"
+	"pmsb/internal/transport"
+	"pmsb/internal/units"
+)
+
+// benchExperiment runs one registered experiment per iteration in Quick
+// mode. There is one benchmark per paper table and figure; the combined
+// sweeps fct-dwrr / fct-wfq regenerate Figures 16-21 / 22-27 in one run.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	spec, err := experiment.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := experiment.Options{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := spec.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// Table I and the motivation figures (Section II).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+
+// Static-flow evaluation (Section VI-A).
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// Large-scale FCT (Section VI-B). The combined sweeps cover every
+// per-figure statistic; the individual figure IDs remain runnable via
+// cmd/pmsbsim (each re-runs the sweep and projects one column).
+func BenchmarkFctDWRR(b *testing.B) { benchExperiment(b, "fct-dwrr") } // Figures 16-21
+func BenchmarkFctWFQ(b *testing.B)  { benchExperiment(b, "fct-wfq") }  // Figures 22-27
+
+// Theorem IV.1 validation.
+func BenchmarkTheorem41(b *testing.B) { benchExperiment(b, "theorem41") }
+
+// Extensions: prose-claim validation and ablations (see DESIGN.md).
+func BenchmarkPool(b *testing.B)           { benchExperiment(b, "pool") }
+func BenchmarkAblationPortK(b *testing.B)  { benchExperiment(b, "ablation-portk") }
+func BenchmarkAblationFilter(b *testing.B) { benchExperiment(b, "ablation-filter") }
+func BenchmarkIncast(b *testing.B)         { benchExperiment(b, "incast") }
+func BenchmarkAblationRTTThresh(b *testing.B) {
+	benchExperiment(b, "ablation-rttthresh")
+}
+func BenchmarkFctWeighted(b *testing.B) { benchExperiment(b, "fct-weighted") }
+func BenchmarkAnalysisValidation(b *testing.B) {
+	benchExperiment(b, "analysis-validation")
+}
+func BenchmarkAblationAverage(b *testing.B) { benchExperiment(b, "ablation-average") }
+
+// --- Engine and algorithm micro-benchmarks -------------------------------
+
+// BenchmarkPMSBDecision measures the raw per-packet cost of Algorithm 1.
+func BenchmarkPMSBDecision(b *testing.B) {
+	eng := sim.NewEngine()
+	s := sched.NewDWRR([]float64{1, 1, 1, 1}, units.MTU, sched.WithClock(eng.Now))
+	link := netsim.NewLink(eng, 10*units.Gbps, time.Microsecond, nullNode{})
+	port := netsim.NewPort(eng, link, netsim.PortConfig{Sched: s})
+	m := &core.PMSB{PortK: units.Packets(12)}
+	p := &pkt.Packet{ECT: true, Size: units.MTU}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ShouldMark(port, i%4, p)
+	}
+}
+
+// BenchmarkMQECNDecision measures MQ-ECN's per-packet cost for contrast
+// (the paper argues PMSB has RED-level complexity while MQ-ECN needs
+// round state).
+func BenchmarkMQECNDecision(b *testing.B) {
+	eng := sim.NewEngine()
+	s := sched.NewDWRR([]float64{1, 1, 1, 1}, units.MTU, sched.WithClock(eng.Now))
+	link := netsim.NewLink(eng, 10*units.Gbps, time.Microsecond, nullNode{})
+	port := netsim.NewPort(eng, link, netsim.PortConfig{Sched: s})
+	m := &ecn.MQECN{RTT: 80 * time.Microsecond, Lambda: 1}
+	p := &pkt.Packet{ECT: true, Size: units.MTU}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ShouldMark(port, i%4, p)
+	}
+}
+
+// BenchmarkPacketForwarding measures raw simulator throughput: packets
+// pushed through a FIFO port and link per second of wall time.
+func BenchmarkPacketForwarding(b *testing.B) {
+	eng := sim.NewEngine()
+	sink := nullNode{}
+	link := netsim.NewLink(eng, 100*units.Gbps, 0, sink)
+	port := netsim.NewPort(eng, link, netsim.PortConfig{Sched: sched.NewFIFO()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port.Send(&pkt.Packet{ID: uint64(i), Size: units.MTU, ECT: true})
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkDCTCPFlow measures one complete 1MB DCTCP transfer over a
+// dumbbell per iteration (transport + scheduler + marking end to end).
+func BenchmarkDCTCPFlow(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		d := topo.NewDumbbell(eng, topo.DumbbellConfig{
+			Senders: 1,
+			Bottleneck: topo.PortProfile{
+				Weights:   topo.EqualWeights(1),
+				NewSched:  topo.FIFOFactory(),
+				NewMarker: func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+			},
+		})
+		done := false
+		f := transport.NewFlow(eng, d.Senders[0], d.Recv, 1, 0, 1_000_000,
+			transport.Config{}, func(*transport.Sender) { done = true })
+		f.Sender.Start()
+		eng.RunUntil(time.Second)
+		if !done {
+			b.Fatal("flow did not complete")
+		}
+	}
+}
+
+// BenchmarkLeafSpineSecond measures simulating the full 48-host fabric
+// with 100 web-search flows.
+func BenchmarkLeafSpineFlows(b *testing.B) {
+	spec, err := experiment.Lookup("fct-dwrr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = spec
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runLeafSpineOnce(b)
+	}
+}
+
+func runLeafSpineOnce(b *testing.B) {
+	b.Helper()
+	eng := sim.NewEngine()
+	ls := topo.NewLeafSpine(eng, topo.LeafSpineConfig{
+		Ports: topo.PortProfile{
+			Weights:     topo.EqualWeights(8),
+			NewSched:    topo.DWRRFactory(eng),
+			NewMarker:   func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+			BufferBytes: units.Packets(250),
+		},
+	})
+	var fid transport.FlowIDGen
+	completed := 0
+	for i := 0; i < 100; i++ {
+		src, dst := i%48, (i+7)%48
+		f := transport.NewFlow(eng, ls.Host(src), ls.Host(dst), fid.Next(), i%8, 100_000,
+			transport.Config{InitWindow: 16}, func(*transport.Sender) { completed++ })
+		eng.ScheduleAt(time.Duration(i)*50*time.Microsecond, f.Sender.Start)
+	}
+	eng.RunUntil(time.Second)
+	if completed != 100 {
+		b.Fatalf("completed %d/100", completed)
+	}
+}
+
+// nullNode swallows packets (benchmark sink).
+type nullNode struct{}
+
+func (nullNode) NodeID() pkt.NodeID    { return 0 }
+func (nullNode) Receive(p *pkt.Packet) {}
+
+func BenchmarkPFC(b *testing.B) { benchExperiment(b, "pfc") }
+
+func BenchmarkAblationMarkPoint(b *testing.B) { benchExperiment(b, "ablation-markpoint") }

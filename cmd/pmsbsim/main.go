@@ -1,0 +1,128 @@
+// Command pmsbsim regenerates the PMSB paper's tables and figures.
+//
+// Usage:
+//
+//	pmsbsim -list                      # enumerate experiments
+//	pmsbsim -experiment fig9           # run one experiment, print TSV
+//	pmsbsim -all                       # run everything
+//	pmsbsim -experiment fct-dwrr -quick -seed 7
+//	pmsbsim -experiment fig11 -series  # include plot-ready time series
+//	pmsbsim -experiment fig9 -format json -out fig9.json
+//
+// TSV output carries '#'-prefixed notes with the paper-shape
+// observations; JSON output is the full structured result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"pmsb/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsbsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	opt    experiment.Options
+	series bool
+	format string
+	out    io.Writer
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pmsbsim", flag.ContinueOnError)
+	var (
+		id      = fs.String("experiment", "", "experiment ID (or comma-separated IDs) to run (see -list)")
+		list    = fs.Bool("list", false, "list all experiments")
+		all     = fs.Bool("all", false, "run every experiment")
+		quick   = fs.Bool("quick", false, "shorter runs (reduced durations and flow counts)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		repeats = fs.Int("repeats", 1, "repeat randomized sweeps with consecutive seeds and pool the samples")
+		series  = fs.Bool("series", false, "include plot-ready time series in the output")
+		format  = fs.String("format", "tsv", "output format: tsv or json")
+		out     = fs.String("out", "", "write output to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "tsv" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want tsv or json)", *format)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	o := options{
+		opt:    experiment.Options{Quick: *quick, Seed: *seed, Repeats: *repeats},
+		series: *series,
+		format: *format,
+		out:    w,
+	}
+	switch {
+	case *list:
+		for _, s := range experiment.List() {
+			fmt.Fprintf(w, "%-16s %s\n", s.ID, s.Title)
+		}
+		return nil
+	case *all:
+		for _, s := range experiment.List() {
+			if err := runOne(s, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *id != "":
+		for _, one := range strings.Split(*id, ",") {
+			s, err := experiment.Lookup(strings.TrimSpace(one))
+			if err != nil {
+				return err
+			}
+			if err := runOne(s, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -list, -all or -experiment is required")
+	}
+}
+
+func runOne(s experiment.Spec, o options) error {
+	start := time.Now()
+	res, err := s.Run(o.opt)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.ID, err)
+	}
+	if !o.series {
+		res.Series = nil
+	}
+	switch o.format {
+	case "json":
+		body, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(o.out, body)
+	default:
+		fmt.Fprint(o.out, res.TSV())
+		fmt.Fprintf(o.out, "# wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

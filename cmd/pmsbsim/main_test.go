@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, "-list")
+	if err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	for _, want := range []string{"fig1", "fig27", "table1", "fct-dwrr", "incast"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, "-experiment", "table1", "-quick")
+	if err != nil {
+		t.Fatalf("-experiment table1: %v", err)
+	}
+	if !strings.Contains(out, "pmsb(e)") || !strings.Contains(out, "wall time") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	out, err := capture(t, "-experiment", "table1", "-quick", "-format", "json")
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var res struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if res.ID != "table1" || len(res.Rows) != 4 {
+		t.Fatalf("JSON content wrong: %+v", res)
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	if _, err := capture(t, "-experiment", "table1", "-format", "xml"); err == nil {
+		t.Fatal("bad format must error")
+	}
+}
+
+func TestRunOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.tsv")
+	if _, err := capture(t, "-experiment", "table1", "-quick", "-out", path); err != nil {
+		t.Fatalf("-out: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	if !strings.Contains(string(data), "table1") {
+		t.Fatal("output file missing experiment data")
+	}
+}
+
+func TestRunOutFileBadPath(t *testing.T) {
+	if _, err := capture(t, "-experiment", "table1", "-out", "/nonexistent/dir/x.tsv"); err == nil {
+		t.Fatal("unwritable -out must error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, "-experiment", "nope"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if _, err := capture(t); err == nil {
+		t.Fatal("missing mode must error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if _, err := capture(t, "-bogus"); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}
+
+func TestRunWithSeries(t *testing.T) {
+	out, err := capture(t, "-experiment", "fig5", "-quick", "-series")
+	if err != nil {
+		t.Fatalf("-series: %v", err)
+	}
+	if !strings.Contains(out, "## series") {
+		t.Fatal("series output missing")
+	}
+}
+
+func TestRunWithoutSeriesOmitsThem(t *testing.T) {
+	out, err := capture(t, "-experiment", "fig5", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "## series") {
+		t.Fatal("series must be omitted by default")
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	out, err := capture(t, "-experiment", "table1, fig5", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# table1:") || !strings.Contains(out, "# fig5:") {
+		t.Fatalf("multi-experiment output incomplete:\n%s", out)
+	}
+}

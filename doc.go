@@ -1,0 +1,17 @@
+// Package pmsb is a from-scratch Go reproduction of "Support ECN in
+// Multi-Queue Datacenter Networks via per-Port Marking with Selective
+// Blindness" (ICDCS 2018).
+//
+// The repository contains a deterministic packet-level datacenter
+// network simulator (internal/sim, internal/netsim), multi-queue packet
+// schedulers (internal/sched), every ECN marking scheme the paper
+// compares (internal/ecn), the PMSB and PMSB(e) algorithms with their
+// steady-state analysis (internal/core), a DCTCP transport
+// (internal/transport), dumbbell and leaf-spine topologies
+// (internal/topo), datacenter workloads (internal/workload), and a
+// harness that regenerates every table and figure of the paper's
+// evaluation (internal/experiment, cmd/pmsbsim).
+//
+// See README.md for a guided tour and EXPERIMENTS.md for
+// paper-vs-measured results.
+package pmsb

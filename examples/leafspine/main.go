@@ -1,0 +1,106 @@
+// Leafspine: a condensed version of the paper's large-scale evaluation.
+// A 48-host leaf-spine fabric runs a web-search workload at 50% load
+// under four multi-queue ECN schemes; the example prints small-flow and
+// overall FCT statistics per scheme (the quantities behind Figures
+// 16-21).
+//
+//	go run ./examples/leafspine
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/sim"
+	"pmsb/internal/stats"
+	"pmsb/internal/topo"
+	"pmsb/internal/transport"
+	"pmsb/internal/units"
+	"pmsb/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type scheme struct {
+	name   string
+	marker topo.MarkerFactory
+	filter func() transport.Filter
+}
+
+func run() error {
+	portK := units.Packets(12)
+	schemes := []scheme{
+		{"pmsb", func() ecn.Marker { return &core.PMSB{PortK: portK} }, nil},
+		{"pmsb(e)", func() ecn.Marker { return &ecn.PerPort{K: portK} },
+			func() transport.Filter { return &core.PMSBe{RTTThreshold: 85200 * time.Nanosecond} }},
+		{"mq-ecn", func() ecn.Marker {
+			return &ecn.MQECN{RTT: units.Serialization(units.Packets(65), 10*units.Gbps), Lambda: 1}
+		}, nil},
+		{"tcn", func() ecn.Marker { return &ecn.TCN{Threshold: 78200 * time.Nanosecond} }, nil},
+	}
+
+	fmt.Println("48-host leaf-spine, DWRR x8 queues, web-search workload, load 0.5, 300 flows")
+	fmt.Printf("%-10s %14s %14s %14s %12s\n",
+		"scheme", "small_avg_ms", "small_p99_ms", "overall_avg_ms", "completed")
+
+	for _, sc := range schemes {
+		small, all, completed, total := simulate(sc)
+		fmt.Printf("%-10s %14.3f %14.3f %14.3f %9d/%d\n",
+			sc.name, small.Mean()*1e3, small.Percentile(99)*1e3, all.Mean()*1e3, completed, total)
+	}
+	fmt.Println("\nExpected shape: PMSB lowest small-flow FCT; TCN highest; overall averages close.")
+	return nil
+}
+
+func simulate(sc scheme) (small, all *stats.Summary, completed, total int) {
+	eng := sim.NewEngine()
+	ls := topo.NewLeafSpine(eng, topo.LeafSpineConfig{
+		Ports: topo.PortProfile{
+			Weights:     topo.EqualWeights(8),
+			NewSched:    topo.DWRRFactory(eng),
+			NewMarker:   sc.marker,
+			BufferBytes: units.Packets(250),
+		},
+	})
+
+	specs := workload.Poisson(workload.PoissonConfig{
+		Load:     0.5,
+		LinkRate: 10 * units.Gbps,
+		Hosts:    ls.NumHosts(),
+		Dist:     workload.WebSearch(),
+		Services: 8,
+		NumFlows: 300,
+		Seed:     1,
+	})
+
+	small, all = &stats.Summary{}, &stats.Summary{}
+	var fid transport.FlowIDGen
+	var lastStart time.Duration
+	done := 0
+	for _, spec := range specs {
+		cfg := transport.Config{InitWindow: 16}
+		if sc.filter != nil {
+			cfg.Filter = sc.filter()
+		}
+		f := transport.NewFlow(eng, ls.Host(spec.Src), ls.Host(spec.Dst), fid.Next(),
+			spec.Service, spec.Size, cfg, func(s *transport.Sender) {
+				done++
+				all.Add(s.FCT().Seconds())
+				if workload.Classify(s.Size()) == workload.Small {
+					small.Add(s.FCT().Seconds())
+				}
+			})
+		eng.ScheduleAt(spec.Start, f.Sender.Start)
+		lastStart = spec.Start
+	}
+	eng.RunUntil(lastStart + 2*time.Second)
+	return small, all, done, len(specs)
+}

@@ -1,0 +1,109 @@
+// Multiservice: the paper's motivating scenario. A datacenter operator
+// isolates 8 services into 8 switch queues with weighted fair sharing.
+// Under plain per-port ECN, a latency-sensitive service sharing a port
+// with bulk services becomes a marking victim and loses its weighted
+// share; PMSB's selective blindness restores it.
+//
+//	go run ./examples/multiservice
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+	"pmsb/internal/stats"
+	"pmsb/internal/topo"
+	"pmsb/internal/transport"
+	"pmsb/internal/units"
+)
+
+// Eight services with mixed weights: service 0 is the premium service
+// (weight 4), services 1-3 standard (2), services 4-7 best effort (1).
+var (
+	weights = []float64{4, 2, 2, 2, 1, 1, 1, 1}
+	// flowsPerService: the premium service runs one connection; the
+	// best-effort services pile on many.
+	flowsPerService = []int{1, 2, 2, 2, 6, 6, 6, 6}
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	weightSum := 0.0
+	for _, w := range weights {
+		weightSum += w
+	}
+	portK := units.Packets(16)
+
+	fmt.Println("8 services, weights 4:2:2:2:1:1:1:1, one 10G port")
+	fmt.Printf("%-10s %8s %10s %10s %10s\n", "service", "weight", "fair_gbps", "perport", "pmsb")
+
+	perPort := measure(&ecn.PerPort{K: portK})
+	pmsb := measure(&core.PMSB{PortK: portK})
+
+	for s := range weights {
+		fair := weights[s] / weightSum * 10
+		fmt.Printf("service-%d  %8.0f %10.2f %10.2f %10.2f\n",
+			s, weights[s], fair, perPort[s], pmsb[s])
+	}
+
+	fmt.Println()
+	fmt.Printf("premium service (weight 4) fair share: %.2f Gbps\n", weights[0]/weightSum*10)
+	fmt.Printf("  under per-port marking: %.2f Gbps (victimized)\n", perPort[0])
+	fmt.Printf("  under PMSB:             %.2f Gbps (protected)\n", pmsb[0])
+	return nil
+}
+
+// measure returns each service's steady throughput in Gbps under the
+// given marker.
+func measure(marker ecn.Marker) []float64 {
+	eng := sim.NewEngine()
+	total := 0
+	for _, n := range flowsPerService {
+		total += n
+	}
+	d := topo.NewDumbbell(eng, topo.DumbbellConfig{
+		Senders: total,
+		Bottleneck: topo.PortProfile{
+			Weights:   weights,
+			NewSched:  topo.WFQFactory(),
+			NewMarker: func() ecn.Marker { return marker },
+		},
+	})
+
+	series := make([]*stats.TimeSeries, len(weights))
+	for i := range series {
+		series[i] = stats.NewTimeSeries(time.Millisecond)
+	}
+	d.Bottleneck.OnDequeue(func(p *pkt.Packet, q int) {
+		series[q].Add(eng.Now(), float64(p.Size))
+	})
+
+	var fid transport.FlowIDGen
+	host := 0
+	for s, n := range flowsPerService {
+		for i := 0; i < n; i++ {
+			f := transport.NewFlow(eng, d.Senders[host], d.Recv, fid.Next(), s, 0,
+				transport.Config{}, nil)
+			f.Sender.Start()
+			host++
+		}
+	}
+	eng.RunUntil(80 * time.Millisecond)
+
+	out := make([]float64, len(weights))
+	for q := range out {
+		out[q] = float64(series[q].MeanRate(30, 80)) / float64(units.Gbps)
+	}
+	return out
+}

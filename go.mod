@@ -1,0 +1,3 @@
+module pmsb
+
+go 1.22

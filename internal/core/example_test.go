@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/pkt"
+	"pmsb/internal/units"
+)
+
+// portState is a minimal ecn.PortView for the example: two queues with
+// the given byte occupancies and equal weights.
+type portState struct{ q0, q1 int }
+
+func (p portState) NumQueues() int         { return 2 }
+func (p portState) QueueBytes(q int) int   { return []int{p.q0, p.q1}[q] }
+func (p portState) QueuePackets(q int) int { return p.QueueBytes(q) / units.MTU }
+func (p portState) PortBytes() int         { return p.q0 + p.q1 }
+func (p portState) PortPackets() int       { return p.PortBytes() / units.MTU }
+func (p portState) Weight(int) float64     { return 1 }
+func (p portState) WeightSum() float64     { return 2 }
+func (p portState) LinkRate() units.Rate   { return 10 * units.Gbps }
+func (p portState) Now() time.Duration     { return 0 }
+func (p portState) Round() ecn.RoundInfo   { return nil }
+
+// ExamplePMSB walks Algorithm 1: with the port over its threshold, only
+// the queue that also exceeds its weighted filter gets marked — the
+// victim queue stays blind.
+func ExamplePMSB() {
+	marker := &core.PMSB{PortK: units.Packets(12)} // filters: 6 pkts/queue
+	packet := &pkt.Packet{ECT: true, Size: units.MTU}
+
+	congested := portState{q0: units.Packets(11), q1: units.Packets(1)}
+	fmt.Println("port 12 pkts, queue0 11 pkts:", marker.ShouldMark(congested, 0, packet))
+	fmt.Println("port 12 pkts, queue1  1 pkt :", marker.ShouldMark(congested, 1, packet))
+
+	calm := portState{q0: units.Packets(5), q1: units.Packets(1)}
+	fmt.Println("port  6 pkts, queue0  5 pkts:", marker.ShouldMark(calm, 0, packet))
+	// Output:
+	// port 12 pkts, queue0 11 pkts: true
+	// port 12 pkts, queue1  1 pkt : false
+	// port  6 pkts, queue0  5 pkts: false
+}
+
+// ExamplePMSBe shows Algorithm 2 from the sender's perspective: marks
+// arriving with a low RTT are per-port false positives and are ignored.
+func ExamplePMSBe() {
+	filter := &core.PMSBe{RTTThreshold: 40 * time.Microsecond}
+	fmt.Println("marked, RTT 20us:", filter.Accept(20*time.Microsecond, true))
+	fmt.Println("marked, RTT 80us:", filter.Accept(80*time.Microsecond, true))
+	fmt.Println("unmarked        :", filter.Accept(80*time.Microsecond, false))
+	// Output:
+	// marked, RTT 20us: false
+	// marked, RTT 80us: true
+	// unmarked        : false
+}
+
+// ExampleAnalysis derives the paper's Theorem IV.1 threshold bound for a
+// 10 Gbps port with two equal queues and an 80us RTT.
+func ExampleAnalysis() {
+	a := &core.Analysis{
+		C:       10 * units.Gbps,
+		RTT:     80 * time.Microsecond,
+		Weights: []float64{1, 1},
+	}
+	fmt.Printf("per-queue bound: %.0f bytes (%.1f pkts)\n", a.MinThreshold(0), a.MinThreshold(0)/units.MTU)
+	fmt.Printf("port threshold : %.0f bytes\n", a.MinPortThreshold())
+	// Output:
+	// per-queue bound: 7143 bytes (4.8 pkts)
+	// port threshold : 14286 bytes
+}

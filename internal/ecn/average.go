@@ -1,0 +1,92 @@
+package ecn
+
+import (
+	"pmsb/internal/pkt"
+	"pmsb/internal/units"
+)
+
+// Averaged wraps a marker so its threshold comparisons see EWMA-averaged
+// queue and port occupancy instead of instantaneous values — the classic
+// RED behaviour. The paper notes commodity switches mark on "the
+// average/instantaneous buffer length"; every marker in this repository
+// uses instantaneous lengths by default and can be wrapped with Averaged
+// to study the averaged variant.
+//
+// The average is updated each time the wrapped marker is consulted:
+//
+//	avg = (1-w)*avg + w*instantaneous
+//
+// with weight w (RED's classic default is 0.002; datacenter ECN
+// typically uses far larger weights or instantaneous marking because
+// averaging delays the congestion signal).
+type Averaged struct {
+	inner  Marker
+	weight float64
+	queues []float64
+	port   float64
+	seen   bool
+}
+
+var _ Marker = (*Averaged)(nil)
+
+// NewAveraged wraps inner with an EWMA of the given weight in (0, 1].
+func NewAveraged(inner Marker, weight float64) *Averaged {
+	if weight <= 0 || weight > 1 {
+		weight = 1
+	}
+	return &Averaged{inner: inner, weight: weight}
+}
+
+// Name implements Marker.
+func (a *Averaged) Name() string { return a.inner.Name() + "+avg" }
+
+// Point implements Marker.
+func (a *Averaged) Point() Point { return a.inner.Point() }
+
+// ShouldMark implements Marker: it refreshes the averages from the live
+// port view, then consults the wrapped marker through an averaged view.
+func (a *Averaged) ShouldMark(pv PortView, q int, p *pkt.Packet) bool {
+	a.update(pv)
+	return a.inner.ShouldMark(&averagedView{PortView: pv, avg: a}, q, p)
+}
+
+func (a *Averaged) update(pv PortView) {
+	n := pv.NumQueues()
+	if len(a.queues) != n {
+		a.queues = make([]float64, n)
+		a.seen = false
+	}
+	if !a.seen {
+		for q := 0; q < n; q++ {
+			a.queues[q] = float64(pv.QueueBytes(q))
+		}
+		a.port = float64(pv.PortBytes())
+		a.seen = true
+		return
+	}
+	w := a.weight
+	for q := 0; q < n; q++ {
+		a.queues[q] = (1-w)*a.queues[q] + w*float64(pv.QueueBytes(q))
+	}
+	a.port = (1-w)*a.port + w*float64(pv.PortBytes())
+}
+
+// averagedView substitutes averaged occupancy into a live PortView.
+type averagedView struct {
+	PortView
+	avg *Averaged
+}
+
+func (v *averagedView) QueueBytes(q int) int { return int(v.avg.queues[q]) }
+
+func (v *averagedView) QueuePackets(q int) int {
+	return int(v.avg.queues[q]) / units.MTU
+}
+
+func (v *averagedView) PortBytes() int { return int(v.avg.port) }
+
+func (v *averagedView) PortPackets() int { return int(v.avg.port) / units.MTU }
+
+// compile-time check that averagedView still satisfies PortView through
+// embedding (Now, Weight, LinkRate, Round pass through).
+var _ PortView = (*averagedView)(nil)

@@ -1,0 +1,82 @@
+package ecn
+
+import (
+	"testing"
+
+	"pmsb/internal/pkt"
+	"pmsb/internal/units"
+)
+
+func TestAveragedSmoothsQueueView(t *testing.T) {
+	inner := &PerQueueStandard{K: units.Packets(10)}
+	m := NewAveraged(inner, 0.1)
+	if m.Name() != "PerQueue(K)+avg" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	if m.Point() != inner.Point() {
+		t.Fatal("Point must pass through")
+	}
+	p := &pkt.Packet{ECT: true}
+
+	// Seed the average with an empty queue.
+	empty := pv(10*units.Gbps, []float64{1}, 0)
+	if m.ShouldMark(empty, 0, p) {
+		t.Fatal("empty queue must not mark")
+	}
+	// A sudden burst to 50 packets: the instantaneous marker would
+	// mark, the averaged one barely moves (avg ~= 10% of burst = 5
+	// packets, below K = 10).
+	burst := pv(10*units.Gbps, []float64{1}, units.Packets(50))
+	if inner.ShouldMark(burst, 0, p) != true {
+		t.Fatal("sanity: instantaneous marker marks the burst")
+	}
+	if m.ShouldMark(burst, 0, p) {
+		t.Fatal("averaged marker must absorb a one-shot burst")
+	}
+	// Sustained burst: the EWMA converges above K and marking starts.
+	marked := false
+	for i := 0; i < 100; i++ {
+		if m.ShouldMark(burst, 0, p) {
+			marked = true
+			break
+		}
+	}
+	if !marked {
+		t.Fatal("averaged marker must converge under sustained load")
+	}
+}
+
+func TestAveragedWeightOneIsInstantaneous(t *testing.T) {
+	inner := &PerPort{K: units.Packets(5)}
+	m := NewAveraged(inner, 1)
+	p := &pkt.Packet{ECT: true}
+	full := pv(10*units.Gbps, []float64{1}, units.Packets(6))
+	// First call seeds the average with the instantaneous value, so
+	// weight 1 behaves identically to the unwrapped marker.
+	if !m.ShouldMark(full, 0, p) {
+		t.Fatal("weight-1 average must equal instantaneous marking")
+	}
+}
+
+func TestAveragedBadWeightDefaultsToOne(t *testing.T) {
+	m := NewAveraged(&PerPort{K: 1}, -3)
+	if m.weight != 1 {
+		t.Fatalf("weight = %v, want 1", m.weight)
+	}
+	m2 := NewAveraged(&PerPort{K: 1}, 2)
+	if m2.weight != 1 {
+		t.Fatalf("weight = %v, want 1", m2.weight)
+	}
+}
+
+func TestAveragedQueueCountChange(t *testing.T) {
+	m := NewAveraged(&PerQueueStandard{K: units.Packets(4)}, 0.5)
+	p := &pkt.Packet{ECT: true}
+	m.ShouldMark(pv(10*units.Gbps, []float64{1}, units.Packets(8)), 0, p)
+	// Switching to a view with a different queue count must reset state,
+	// not panic.
+	two := pv(10*units.Gbps, []float64{1, 1}, units.Packets(8), 0)
+	if !m.ShouldMark(two, 0, p) {
+		t.Fatal("after reset the seeded average should mark immediately")
+	}
+}

@@ -1,0 +1,102 @@
+// Package ecn defines the ECN marking framework used by simulated switch
+// ports and implements every baseline marking scheme the PMSB paper
+// compares against:
+//
+//   - per-queue marking with the standard threshold (Section II-B),
+//   - per-queue marking with the weight-fractional threshold (Eq. 2),
+//   - per-port marking (Section II-B),
+//   - per-service-pool marking (Section II-B),
+//   - MQ-ECN dynamic per-queue thresholds (Eq. 3, NSDI'16),
+//   - TCN sojourn-time marking (Eq. 4, CoNEXT'16).
+//
+// The paper's own scheme (PMSB) lives in internal/core; it implements the
+// same Marker interface.
+package ecn
+
+import (
+	"time"
+
+	"pmsb/internal/pkt"
+	"pmsb/internal/units"
+)
+
+// Point says when a marker inspects packets.
+type Point int
+
+const (
+	// AtEnqueue marks packets as they enter the queue (classic RED/ECN).
+	AtEnqueue Point = iota + 1
+	// AtDequeue marks packets as they leave the queue. The paper shows
+	// dequeue marking delivers congestion information earlier
+	// (Figures 4, 11, 12).
+	AtDequeue
+)
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	switch p {
+	case AtEnqueue:
+		return "enqueue"
+	case AtDequeue:
+		return "dequeue"
+	default:
+		return "unknown"
+	}
+}
+
+// PortView is the switch-port state a marker may consult when deciding
+// whether to mark a packet. The port implements it; markers must treat
+// it as read-only.
+type PortView interface {
+	// NumQueues returns the number of service queues on the port.
+	NumQueues() int
+	// QueueBytes returns the instantaneous buffered bytes of queue q.
+	QueueBytes(q int) int
+	// QueuePackets returns the buffered packet count of queue q.
+	QueuePackets(q int) int
+	// PortBytes returns the total buffered bytes across the port.
+	PortBytes() int
+	// PortPackets returns the total buffered packets across the port.
+	PortPackets() int
+	// Weight returns the scheduling weight of queue q.
+	Weight(q int) float64
+	// WeightSum returns the sum of all queue weights.
+	WeightSum() float64
+	// LinkRate returns the capacity of the attached link.
+	LinkRate() units.Rate
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Round returns round-based scheduler state, or nil when the
+	// scheduler has no round notion (WFQ, SP, FIFO). MQ-ECN requires a
+	// non-nil Round.
+	Round() RoundInfo
+}
+
+// RoundInfo mirrors sched.RoundInfo without importing it, keeping the
+// marker layer independent of scheduler implementations.
+type RoundInfo interface {
+	RoundTime() time.Duration
+	QuantumBytes(q int) int
+}
+
+// Marker decides whether a packet passing through a port should carry
+// the CE codepoint. The port consults the marker only for ECT packets
+// and only at the marker's Point.
+type Marker interface {
+	// Name identifies the scheme (used in result tables).
+	Name() string
+	// Point returns when this marker runs.
+	Point() Point
+	// ShouldMark reports whether the packet p, which is entering or
+	// leaving queue q (per Point), must be CE-marked. The decision uses
+	// the port state pv at the instant of the call. Implementations
+	// must not mutate p; the port applies the mark.
+	ShouldMark(pv PortView, q int, p *pkt.Packet) bool
+}
+
+// StandardThreshold returns the standard ECN marking threshold in bytes,
+// K = C x RTT x lambda (paper Eq. 1 / Eq. 5), the setting that keeps the
+// bottleneck link busy while holding latency low.
+func StandardThreshold(c units.Rate, rtt time.Duration, lambda float64) int {
+	return int(float64(units.BDP(c, rtt)) * lambda)
+}

@@ -1,0 +1,58 @@
+package ecn_test
+
+import (
+	"fmt"
+	"time"
+
+	"pmsb/internal/ecn"
+	"pmsb/internal/pkt"
+	"pmsb/internal/units"
+)
+
+// twoQueues is a minimal PortView with two equal-weight queues.
+type twoQueues struct{ q0, q1 int }
+
+func (v twoQueues) NumQueues() int         { return 2 }
+func (v twoQueues) QueueBytes(q int) int   { return []int{v.q0, v.q1}[q] }
+func (v twoQueues) QueuePackets(q int) int { return v.QueueBytes(q) / units.MTU }
+func (v twoQueues) PortBytes() int         { return v.q0 + v.q1 }
+func (v twoQueues) PortPackets() int       { return v.PortBytes() / units.MTU }
+func (v twoQueues) Weight(int) float64     { return 1 }
+func (v twoQueues) WeightSum() float64     { return 2 }
+func (v twoQueues) LinkRate() units.Rate   { return 10 * units.Gbps }
+func (v twoQueues) Now() time.Duration     { return 100 * time.Microsecond }
+func (v twoQueues) Round() ecn.RoundInfo   { return nil }
+
+// Example_perPortVictim shows the problem PMSB solves: per-port marking
+// punishes a queue that holds a single packet because the *other* queue
+// filled the port.
+func Example_perPortVictim() {
+	perPort := &ecn.PerPort{K: units.Packets(16)}
+	view := twoQueues{q0: units.Packets(1), q1: units.Packets(20)}
+	victim := &pkt.Packet{ECT: true}
+	fmt.Println("victim queue marked:", perPort.ShouldMark(view, 0, victim))
+	// Output:
+	// victim queue marked: true
+}
+
+// ExampleTCN shows sojourn-time marking: only the packet that waited
+// longer than the threshold is marked, regardless of queue length.
+func ExampleTCN() {
+	tcn := &ecn.TCN{Threshold: 20 * time.Microsecond}
+	view := twoQueues{q0: units.Packets(100)}
+	fresh := &pkt.Packet{ECT: true, EnqueuedAt: 90 * time.Microsecond} // 10us sojourn
+	stale := &pkt.Packet{ECT: true, EnqueuedAt: 50 * time.Microsecond} // 50us sojourn
+	fmt.Println("fresh packet:", tcn.ShouldMark(view, 0, fresh))
+	fmt.Println("stale packet:", tcn.ShouldMark(view, 0, stale))
+	// Output:
+	// fresh packet: false
+	// stale packet: true
+}
+
+// ExampleStandardThreshold computes the classic K = C x RTT x lambda.
+func ExampleStandardThreshold() {
+	k := ecn.StandardThreshold(10*units.Gbps, 80*time.Microsecond, 1)
+	fmt.Printf("%d bytes (%.1f packets)\n", k, float64(k)/units.MTU)
+	// Output:
+	// 100000 bytes (66.7 packets)
+}

@@ -1,0 +1,107 @@
+package ecn
+
+import (
+	"time"
+
+	"pmsb/internal/pkt"
+	"pmsb/internal/units"
+)
+
+// MQECN implements the MQ-ECN dynamic per-queue threshold (Bai et al.,
+// NSDI'16; paper Eq. 3):
+//
+//	K_i = min(quantum_i / T_round, C) x RTT x lambda
+//
+// quantum_i / T_round is queue i's service rate under the round-based
+// scheduler; the threshold scales the standard BDP threshold by the
+// queue's actual share of the link. When the port has been idle (round
+// time 0) the threshold falls back to the full standard threshold so a
+// lone queue keeps full throughput.
+//
+// MQ-ECN requires a round-based scheduler: ShouldMark panics if the
+// port's scheduler exposes no RoundInfo, which mirrors the paper's
+// limitation that MQ-ECN "only supports round-based schedulers".
+type MQECN struct {
+	// RTT is the base round-trip time used for threshold sizing.
+	RTT time.Duration
+	// Lambda is the threshold scale factor of Eq. 1.
+	Lambda float64
+	// MarkPoint selects enqueue or dequeue marking (default enqueue).
+	MarkPoint Point
+}
+
+var _ Marker = (*MQECN)(nil)
+
+// Name implements Marker.
+func (m *MQECN) Name() string { return "MQ-ECN" }
+
+// Point implements Marker.
+func (m *MQECN) Point() Point {
+	if m.MarkPoint == 0 {
+		return AtEnqueue
+	}
+	return m.MarkPoint
+}
+
+// ShouldMark implements Marker.
+func (m *MQECN) ShouldMark(pv PortView, q int, p *pkt.Packet) bool {
+	round := pv.Round()
+	if round == nil {
+		panic("ecn: MQ-ECN requires a round-based scheduler (DWRR/WRR)")
+	}
+	ki := m.threshold(pv, round, q)
+	return pv.QueueBytes(q) >= ki
+}
+
+// threshold computes K_i in bytes.
+func (m *MQECN) threshold(pv PortView, round RoundInfo, q int) int {
+	c := pv.LinkRate()
+	standard := StandardThreshold(c, m.RTT, m.Lambda)
+	tround := round.RoundTime()
+	if tround <= 0 {
+		return standard
+	}
+	// Service rate of queue q in bytes/second, capped at link rate.
+	quantum := float64(round.QuantumBytes(q))
+	rate := quantum / tround.Seconds()
+	capacity := float64(c) / 8
+	if rate >= capacity {
+		return standard
+	}
+	return int(rate * m.RTT.Seconds() * m.Lambda)
+}
+
+// TCN implements the sojourn-time marker of Bai et al. (CoNEXT'16;
+// paper Eq. 4): a packet is marked at dequeue when the time it spent in
+// the queue exceeds T = RTT x lambda. TCN supports any scheduler but can
+// only observe congestion after a packet has experienced it, which is
+// the "cannot deliver congestion information early" limitation the paper
+// demonstrates in Figure 5.
+type TCN struct {
+	// Threshold is the sojourn-time threshold (e.g. 78.2us in the
+	// paper's large-scale setup).
+	Threshold time.Duration
+}
+
+var _ Marker = (*TCN)(nil)
+
+// Name implements Marker.
+func (m *TCN) Name() string { return "TCN" }
+
+// Point implements Marker. TCN is inherently dequeue-only: sojourn time
+// is unknown at enqueue.
+func (m *TCN) Point() Point { return AtDequeue }
+
+// ShouldMark implements Marker.
+func (m *TCN) ShouldMark(pv PortView, q int, p *pkt.Packet) bool {
+	sojourn := pv.Now() - p.EnqueuedAt
+	return sojourn > m.Threshold
+}
+
+// TCNThreshold returns the sojourn threshold equivalent to a buffer
+// threshold of kBytes on a link of rate c: the time the link needs to
+// drain kBytes (used to translate packet thresholds into TCN settings,
+// as the paper does: 16 packets at 10G ~ 19.2us).
+func TCNThreshold(kBytes int, c units.Rate) time.Duration {
+	return units.Serialization(kBytes, c)
+}

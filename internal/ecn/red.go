@@ -1,0 +1,75 @@
+package ecn
+
+import (
+	"math/rand"
+
+	"pmsb/internal/pkt"
+)
+
+// RED implements Random Early Detection marking on a queue's occupancy
+// (Floyd & Jacobson 1993, the paper's reference [6]). Between MinK and
+// MaxK the marking probability rises linearly from 0 to MaxP; above
+// MaxK every packet is marked.
+//
+// DCTCP's marking is the degenerate setting MinK = MaxK = K with
+// instantaneous occupancy ("DCTCP uses a special parameter setting of
+// RED ECN marking", paper Section II-A) — see NewDCTCPStep. Combine
+// with NewAveraged for classic averaged RED.
+type RED struct {
+	// MinK and MaxK bound the probabilistic region, in bytes.
+	MinK, MaxK int
+	// MaxP is the marking probability at MaxK.
+	MaxP float64
+	// Rand supplies randomness; nil uses a deterministic source seeded
+	// with 1 (keeping simulations reproducible).
+	Rand *rand.Rand
+	// PerPortOccupancy switches the measured entity from the packet's
+	// queue to the whole port.
+	PerPortOccupancy bool
+	// MarkPoint selects enqueue or dequeue marking (default enqueue).
+	MarkPoint Point
+}
+
+var _ Marker = (*RED)(nil)
+
+// NewDCTCPStep returns RED configured as DCTCP's step marking at
+// threshold k bytes.
+func NewDCTCPStep(k int) *RED {
+	return &RED{MinK: k, MaxK: k, MaxP: 1}
+}
+
+// Name implements Marker.
+func (m *RED) Name() string { return "RED" }
+
+// Point implements Marker.
+func (m *RED) Point() Point {
+	if m.MarkPoint == 0 {
+		return AtEnqueue
+	}
+	return m.MarkPoint
+}
+
+// ShouldMark implements Marker.
+func (m *RED) ShouldMark(pv PortView, q int, p *pkt.Packet) bool {
+	occ := pv.QueueBytes(q)
+	if m.PerPortOccupancy {
+		occ = pv.PortBytes()
+	}
+	switch {
+	case occ < m.MinK:
+		return false
+	case occ >= m.MaxK:
+		return true
+	default:
+		span := float64(m.MaxK - m.MinK)
+		prob := m.MaxP * float64(occ-m.MinK) / span
+		return m.rng().Float64() < prob
+	}
+}
+
+func (m *RED) rng() *rand.Rand {
+	if m.Rand == nil {
+		m.Rand = rand.New(rand.NewSource(1))
+	}
+	return m.Rand
+}

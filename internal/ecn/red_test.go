@@ -1,0 +1,87 @@
+package ecn
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmsb/internal/pkt"
+	"pmsb/internal/units"
+)
+
+func TestREDStepEqualsDCTCP(t *testing.T) {
+	k := units.Packets(16)
+	red := NewDCTCPStep(k)
+	dctcp := &PerQueueStandard{K: k}
+	p := &pkt.Packet{ECT: true}
+	for _, occ := range []int{0, k - 1, k, k + 1, 10 * k} {
+		view := pv(10*units.Gbps, []float64{1}, occ)
+		if red.ShouldMark(view, 0, p) != dctcp.ShouldMark(view, 0, p) {
+			t.Fatalf("step RED and DCTCP marking diverge at occupancy %d", occ)
+		}
+	}
+}
+
+func TestREDProbabilisticRegion(t *testing.T) {
+	m := &RED{
+		MinK: units.Packets(10),
+		MaxK: units.Packets(30),
+		MaxP: 0.5,
+		Rand: rand.New(rand.NewSource(7)),
+	}
+	p := &pkt.Packet{ECT: true}
+	count := func(occ int) float64 {
+		view := pv(10*units.Gbps, []float64{1}, occ)
+		n := 20000
+		marked := 0
+		for i := 0; i < n; i++ {
+			if m.ShouldMark(view, 0, p) {
+				marked++
+			}
+		}
+		return float64(marked) / float64(n)
+	}
+	if f := count(units.Packets(9)); f != 0 {
+		t.Fatalf("below MinK mark fraction = %v, want 0", f)
+	}
+	if f := count(units.Packets(31)); f != 1 {
+		t.Fatalf("above MaxK mark fraction = %v, want 1", f)
+	}
+	// Midpoint: probability ~ MaxP/2 = 0.25.
+	if f := count(units.Packets(20)); f < 0.2 || f > 0.3 {
+		t.Fatalf("midpoint mark fraction = %v, want ~0.25", f)
+	}
+	// Monotone in occupancy.
+	lo, hi := count(units.Packets(12)), count(units.Packets(28))
+	if lo >= hi {
+		t.Fatalf("marking probability must grow with occupancy: %v >= %v", lo, hi)
+	}
+}
+
+func TestREDPerPortOccupancy(t *testing.T) {
+	m := &RED{MinK: units.Packets(4), MaxK: units.Packets(4), MaxP: 1, PerPortOccupancy: true}
+	p := &pkt.Packet{ECT: true}
+	// Queue 0 is empty but the port total crosses MaxK.
+	view := pv(10*units.Gbps, []float64{1, 1}, 0, units.Packets(5))
+	if !m.ShouldMark(view, 0, p) {
+		t.Fatal("per-port RED must mark on aggregate occupancy")
+	}
+}
+
+func TestREDDeterministicDefaultSeed(t *testing.T) {
+	mk := func() []bool {
+		m := &RED{MinK: 0, MaxK: units.Packets(100), MaxP: 1}
+		p := &pkt.Packet{ECT: true}
+		view := pv(10*units.Gbps, []float64{1}, units.Packets(50))
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = m.ShouldMark(view, 0, p)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("default-seeded RED must be deterministic")
+		}
+	}
+}

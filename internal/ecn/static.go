@@ -1,0 +1,154 @@
+package ecn
+
+import "pmsb/internal/pkt"
+
+// PerQueueStandard marks a packet when its own queue's occupancy reaches
+// the full standard threshold K. With many active queues the port buffer
+// can reach NumQueues x K, which is why the paper's Figure 1 shows RTT
+// growing with the number of queues.
+type PerQueueStandard struct {
+	// K is the per-queue threshold in bytes.
+	K int
+	// MarkPoint selects enqueue or dequeue marking (default enqueue).
+	MarkPoint Point
+}
+
+var _ Marker = (*PerQueueStandard)(nil)
+
+// Name implements Marker.
+func (m *PerQueueStandard) Name() string { return "PerQueue(K)" }
+
+// Point implements Marker.
+func (m *PerQueueStandard) Point() Point {
+	if m.MarkPoint == 0 {
+		return AtEnqueue
+	}
+	return m.MarkPoint
+}
+
+// ShouldMark implements Marker.
+func (m *PerQueueStandard) ShouldMark(pv PortView, q int, p *pkt.Packet) bool {
+	return pv.QueueBytes(q) >= m.K
+}
+
+// PerQueueFractional apportions the standard threshold among queues in
+// proportion to their weights (paper Eq. 2):
+//
+//	K_i = w_i / sum(w) x K.
+//
+// It keeps latency low but loses throughput when few queues are active
+// (paper Figure 2).
+type PerQueueFractional struct {
+	// PortK is the standard threshold in bytes to divide among queues.
+	PortK int
+	// MarkPoint selects enqueue or dequeue marking (default enqueue).
+	MarkPoint Point
+}
+
+var _ Marker = (*PerQueueFractional)(nil)
+
+// Name implements Marker.
+func (m *PerQueueFractional) Name() string { return "PerQueue(K_i)" }
+
+// Point implements Marker.
+func (m *PerQueueFractional) Point() Point {
+	if m.MarkPoint == 0 {
+		return AtEnqueue
+	}
+	return m.MarkPoint
+}
+
+// ShouldMark implements Marker.
+func (m *PerQueueFractional) ShouldMark(pv PortView, q int, p *pkt.Packet) bool {
+	ki := float64(m.PortK) * pv.Weight(q) / pv.WeightSum()
+	return float64(pv.QueueBytes(q)) >= ki
+}
+
+// PerPort marks a packet whenever the whole port's occupancy reaches K,
+// regardless of which queue the packet sits in. It preserves throughput
+// and latency but lets congested queues get well-behaved queues' packets
+// marked — the weighted-fair-sharing violation of Figure 3 that PMSB
+// repairs.
+type PerPort struct {
+	// K is the per-port threshold in bytes.
+	K int
+	// MarkPoint selects enqueue or dequeue marking (default enqueue).
+	MarkPoint Point
+}
+
+var _ Marker = (*PerPort)(nil)
+
+// Name implements Marker.
+func (m *PerPort) Name() string { return "PerPort" }
+
+// Point implements Marker.
+func (m *PerPort) Point() Point {
+	if m.MarkPoint == 0 {
+		return AtEnqueue
+	}
+	return m.MarkPoint
+}
+
+// ShouldMark implements Marker.
+func (m *PerPort) ShouldMark(pv PortView, q int, p *pkt.Packet) bool {
+	return pv.PortBytes() >= m.K
+}
+
+// Pool aggregates the buffered bytes of several ports that share a
+// buffer pool. Ports report their occupancy changes through Add.
+type Pool struct {
+	bytes int
+}
+
+// Add adjusts the pool occupancy by delta bytes.
+func (s *Pool) Add(delta int) { s.bytes += delta }
+
+// Bytes returns the current pool occupancy.
+func (s *Pool) Bytes() int { return s.bytes }
+
+// PerPool marks when the shared service-pool occupancy reaches K. The
+// paper argues it violates weighted fair sharing even across ports; the
+// marker exists so that claim can be tested.
+type PerPool struct {
+	// K is the pool threshold in bytes.
+	K int
+	// Shared is the pool this port belongs to.
+	Shared *Pool
+	// MarkPoint selects enqueue or dequeue marking (default enqueue).
+	MarkPoint Point
+}
+
+var _ Marker = (*PerPool)(nil)
+
+// Name implements Marker.
+func (m *PerPool) Name() string { return "PerPool" }
+
+// Point implements Marker.
+func (m *PerPool) Point() Point {
+	if m.MarkPoint == 0 {
+		return AtEnqueue
+	}
+	return m.MarkPoint
+}
+
+// ShouldMark implements Marker.
+func (m *PerPool) ShouldMark(pv PortView, q int, p *pkt.Packet) bool {
+	if m.Shared == nil {
+		return pv.PortBytes() >= m.K
+	}
+	return m.Shared.Bytes() >= m.K
+}
+
+// None never marks; it models an ECN-disabled switch (plain drop-tail).
+type None struct{}
+
+var _ Marker = None{}
+
+// Name implements Marker.
+func (None) Name() string { return "None" }
+
+// Point implements Marker.
+func (None) Point() Point { return AtEnqueue }
+
+// ShouldMark implements Marker.
+func (None) ShouldMark(PortView, int, *pkt.Packet) bool { return false }

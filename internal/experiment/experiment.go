@@ -1,0 +1,183 @@
+// Package experiment reproduces every table and figure of the PMSB
+// paper's evaluation. Each experiment is registered under the paper's
+// figure/table ID (fig1..fig27, table1, theorem41) plus combined sweep
+// IDs (fct-dwrr, fct-wfq); cmd/pmsbsim runs them by name and
+// bench_test.go exposes one benchmark per experiment.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Quick shrinks durations and flow counts so the experiment
+	// finishes in seconds (used by tests and benchmarks); the paper
+	// shape must survive, absolute confidence intervals shrink.
+	Quick bool
+	// Seed seeds all randomness (default 1).
+	Seed int64
+	// Repeats runs the randomized large-scale sweeps this many times
+	// with consecutive seeds and reports cross-seed means (default 1).
+	// Deterministic experiments ignore it.
+	Repeats int
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) repeats() int {
+	if o.Repeats < 1 {
+		return 1
+	}
+	return o.Repeats
+}
+
+// Result is an experiment's output table: the rows/series the paper
+// plots, plus free-form notes (observations the paper states in prose).
+type Result struct {
+	// ID is the experiment ID (e.g. "fig9").
+	ID string `json:"id"`
+	// Title describes the experiment.
+	Title string `json:"title"`
+	// Headers are column names.
+	Headers []string `json:"headers"`
+	// Rows are the data rows.
+	Rows [][]string `json:"rows"`
+	// Notes carry derived observations (e.g. "queue1/queue2 = 0.98").
+	Notes []string `json:"notes,omitempty"`
+	// Series are plot-ready (x, y) traces for time-series figures
+	// (buffer occupancy, throughput vs time).
+	Series []Series `json:"series,omitempty"`
+}
+
+// Series is one named plot line.
+type Series struct {
+	// Name labels the line (e.g. "pmsb-dequeue").
+	Name string `json:"name"`
+	// XUnit / YUnit label the axes (e.g. "ms", "pkts").
+	XUnit string `json:"xUnit"`
+	YUnit string `json:"yUnit"`
+	// X and Y are the coordinates (equal length).
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+}
+
+// JSON renders the result as indented JSON.
+func (r *Result) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("marshal result %s: %w", r.ID, err)
+	}
+	return string(b) + "\n", nil
+}
+
+// AddSeries appends a plot line.
+func (r *Result) AddSeries(s Series) {
+	r.Series = append(r.Series, s)
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// TSV renders the result as a tab-separated table, including any plot
+// series. Use TableTSV to omit the series.
+func (r *Result) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", r.ID, r.Title)
+	b.WriteString(strings.Join(r.Headers, "\t"))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "## series %s (%s vs %s)\n", s.Name, s.YUnit, s.XUnit)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g\t%g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// TableTSV renders only the table and notes (no plot series).
+func (r *Result) TableTSV() string {
+	table := *r
+	table.Series = nil
+	return table.TSV()
+}
+
+// Spec is a registered experiment.
+type Spec struct {
+	// ID is the lookup key (paper figure/table number).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func(opt Options) (*Result, error)
+}
+
+// registry returns all experiments, built lazily so each file
+// contributes its specs via the builders list.
+func registry() map[string]Spec {
+	reg := make(map[string]Spec)
+	for _, s := range allSpecs() {
+		reg[s.ID] = s
+	}
+	return reg
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Spec, error) {
+	s, ok := registry()[id]
+	if !ok {
+		return Spec{}, fmt.Errorf("unknown experiment %q (use List for valid IDs)", id)
+	}
+	return s, nil
+}
+
+// List returns all experiment specs sorted by ID.
+func List() []Spec {
+	reg := registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Spec, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, reg[id])
+	}
+	return out
+}
+
+// allSpecs enumerates every experiment in the repository.
+func allSpecs() []Spec {
+	specs := []Spec{
+		table1Spec(),
+		theorem41Spec(),
+	}
+	specs = append(specs, motivationSpecs()...)
+	specs = append(specs, staticSpecs()...)
+	specs = append(specs, schedulerSpecs()...)
+	specs = append(specs, fctSpecs()...)
+	specs = append(specs, extensionSpecs()...)
+	return specs
+}

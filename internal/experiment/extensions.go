@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/netsim"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sched"
+	"pmsb/internal/sim"
+	"pmsb/internal/stats"
+	"pmsb/internal/topo"
+	"pmsb/internal/transport"
+	"pmsb/internal/units"
+)
+
+// extensionSpecs are experiments that go beyond the paper's figures:
+// they validate claims the paper makes in prose (per-service-pool
+// marking, the false-positive/false-negative trade-off) and sweep the
+// design parameters the paper fixes.
+func extensionSpecs() []Spec {
+	specs := []Spec{
+		{ID: "pool", Title: "Per-service-pool marking violates fairness across ports (Section II-B claim)", Run: runPool},
+		{ID: "ablation-portk", Title: "Ablation: per-port threshold sweep (generalizes Figures 6-7)", Run: runAblationPortK},
+		{ID: "ablation-filter", Title: "Ablation: PMSB filter aggressiveness (false positive vs false negative)", Run: runAblationFilter},
+		incastSpec(),
+	}
+	specs = append(specs, weightedSpecs()...)
+	specs = append(specs, analysisSpecs()...)
+	return append(specs, pfcSpec())
+}
+
+// runPool validates the paper's prose claim: "We believe per service
+// pool will also violate weighted fair sharing, because queues belonging
+// to different ports may interfere with each other."
+//
+// Topology: one switch, two independent 10G output ports sharing one
+// buffer pool with a single pool threshold. Port A carries 1 flow (never
+// congested on its own), port B carries 8 flows. Under per-pool marking
+// the port-A flow gets marked because port B filled the pool; under
+// per-port marking it does not.
+func runPool(opt Options) (*Result, error) {
+	dur, warmup := staticDur(opt)
+	res := &Result{
+		ID:      "pool",
+		Title:   "Cross-port interference under shared-pool marking",
+		Headers: []string{"scheme", "portA_gbps", "portB_gbps", "portA_marks"},
+	}
+
+	type outcome struct {
+		a, b  float64
+		marks int64
+	}
+	run := func(perPool bool) outcome {
+		eng := sim.NewEngine()
+		sw := netsim.NewSwitch(eng, 1000)
+		pool := &ecn.Pool{}
+		k := units.Packets(16)
+
+		mkMarker := func() ecn.Marker {
+			if perPool {
+				return &ecn.PerPool{K: k, Shared: pool}
+			}
+			return &ecn.PerPort{K: k}
+		}
+		mkHost := func(id pkt.NodeID) *netsim.Host {
+			h := netsim.NewHost(eng, id)
+			h.AttachNIC(netsim.NewLink(eng, motiveRate, motiveDelay, sw))
+			return h
+		}
+		recvA, recvB := mkHost(1), mkHost(2)
+		portA := netsim.NewPort(eng, netsim.NewLink(eng, motiveRate, motiveDelay, recvA),
+			netsim.PortConfig{Sched: sched.NewFIFO(), Marker: mkMarker(), Pool: pool})
+		portB := netsim.NewPort(eng, netsim.NewLink(eng, motiveRate, motiveDelay, recvB),
+			netsim.PortConfig{Sched: sched.NewFIFO(), Marker: mkMarker(), Pool: pool})
+		sw.AddPort(portA)
+		sw.AddPort(portB)
+
+		senders := make([]*netsim.Host, 0, 9)
+		ports := make(map[pkt.NodeID]int, 11)
+		ports[1], ports[2] = 0, 1
+		for i := 0; i < 9; i++ {
+			h := mkHost(pkt.NodeID(10 + i))
+			idx := sw.AddPort(netsim.NewPort(eng,
+				netsim.NewLink(eng, motiveRate, motiveDelay, h),
+				netsim.PortConfig{Sched: sched.NewFIFO()}))
+			ports[h.NodeID()] = idx
+			senders = append(senders, h)
+		}
+		sw.SetRoute(func(p *pkt.Packet) int {
+			if idx, ok := ports[p.Dst]; ok {
+				return idx
+			}
+			return -1
+		})
+
+		seriesA := stats.NewTimeSeries(time.Millisecond)
+		seriesB := stats.NewTimeSeries(time.Millisecond)
+		portA.OnDequeue(func(p *pkt.Packet, _ int) { seriesA.Add(eng.Now(), float64(p.Size)) })
+		portB.OnDequeue(func(p *pkt.Packet, _ int) { seriesB.Add(eng.Now(), float64(p.Size)) })
+
+		var fid transport.FlowIDGen
+		// 1 flow to receiver A, 8 flows to receiver B.
+		fa := transport.NewFlow(eng, senders[0], recvA, fid.Next(), 0, 0, transport.Config{}, nil)
+		fa.Sender.Start()
+		for i := 1; i < 9; i++ {
+			f := transport.NewFlow(eng, senders[i], recvB, fid.Next(), 0, 0, transport.Config{}, nil)
+			f.Sender.Start()
+		}
+		eng.RunUntil(dur)
+
+		from, to := int(warmup/time.Millisecond), int(dur/time.Millisecond)
+		return outcome{
+			a:     float64(seriesA.MeanRate(from, to)) / float64(units.Gbps),
+			b:     float64(seriesB.MeanRate(from, to)) / float64(units.Gbps),
+			marks: portA.MarkedPackets(),
+		}
+	}
+
+	perPort := run(false)
+	perPool := run(true)
+	res.AddRow("per-port", fmt.Sprintf("%.2f", perPort.a), fmt.Sprintf("%.2f", perPort.b), fmt.Sprintf("%d", perPort.marks))
+	res.AddRow("per-pool", fmt.Sprintf("%.2f", perPool.a), fmt.Sprintf("%.2f", perPool.b), fmt.Sprintf("%d", perPool.marks))
+	res.AddNote("per-pool marks %d packets on the un-congested port A (per-port: %d): cross-port interference",
+		perPool.marks, perPort.marks)
+	res.AddNote("port A throughput %.2f -> %.2f Gbps when pool marking is enabled", perPort.a, perPool.a)
+	return res, nil
+}
+
+// runAblationPortK sweeps the per-port threshold with the 1:8 flow split
+// of Figure 3, exposing the trade-off the paper derives from Figures 6
+// and 7: raising the threshold restores fairness (fewer victim marks)
+// but inflates latency.
+func runAblationPortK(opt Options) (*Result, error) {
+	dur, warmup := staticDur(opt)
+	res := &Result{
+		ID:      "ablation-portk",
+		Title:   "Per-port marking: threshold vs fairness vs latency (1:8 flows)",
+		Headers: []string{"portK_pkts", "q1_share", "avg_rtt_us", "mark_fraction"},
+	}
+	import1 := func(k int) (share, rtt, markFrac float64) {
+		r := runStatic(staticConfig{
+			profile:    defaultTwoQueueProfile(func() ecn.Marker { return &ecn.PerPort{K: units.Packets(k)} }),
+			accessRate: motiveRate, bottleneckRate: motiveRate, delay: motiveDelay,
+			groups: []flowGroup{
+				{service: 0, count: 1, recordRTT: true},
+				{service: 1, count: 8, recordRTT: true},
+			},
+			dur: dur, warmup: warmup,
+		})
+		q1, q2 := r.queueRate(0), r.queueRate(1)
+		return float64(q1) / float64(q1+q2), r.allRTT().Mean(), markFraction(r.d.Bottleneck)
+	}
+	var firstShare, lastShare float64
+	ks := []int{8, 16, 32, 65, 128}
+	for i, k := range ks {
+		share, rtt, mf := import1(k)
+		if i == 0 {
+			firstShare = share
+		}
+		lastShare = share
+		res.AddRow(itoa(k), fmt.Sprintf("%.3f", share), usec(rtt), fmt.Sprintf("%.3f", mf))
+	}
+	res.AddNote("queue-1 share improves from %.2f (K=8) to %.2f (K=128) while RTT grows: the paper's Figure 6/7 trade-off", firstShare, lastShare)
+	return res, nil
+}
+
+// runAblationFilter sweeps PMSB's per-queue filter scale with the 1:8
+// split: scale 0.25 is aggressive (false positives hurt fairness less
+// than expected per the paper's observation), large scales are
+// conservative (false negatives let the congested queue balloon).
+func runAblationFilter(opt Options) (*Result, error) {
+	dur, warmup := staticDur(opt)
+	res := &Result{
+		ID:      "ablation-filter",
+		Title:   "PMSB filter scale vs fairness vs congested-queue RTT (1:8 flows, port K=16)",
+		Headers: []string{"filter_scale", "q1_share", "q2_p99_rtt_us", "mark_fraction"},
+	}
+	for _, scale := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
+		scale := scale
+		r := runStatic(staticConfig{
+			profile: defaultTwoQueueProfile(func() ecn.Marker {
+				return &core.PMSB{PortK: units.Packets(16), ThresholdScale: scale}
+			}),
+			accessRate: motiveRate, bottleneckRate: motiveRate, delay: motiveDelay,
+			groups: []flowGroup{
+				{service: 0, count: 1},
+				{service: 1, count: 8, recordRTT: true},
+			},
+			dur: dur, warmup: warmup,
+		})
+		q1, q2 := r.queueRate(0), r.queueRate(1)
+		share := float64(q1) / float64(q1+q2)
+		res.AddRow(
+			fmt.Sprintf("%.2f", scale),
+			fmt.Sprintf("%.3f", share),
+			usec(r.groupRTT(1).Percentile(99)),
+			fmt.Sprintf("%.3f", markFraction(r.d.Bottleneck)),
+		)
+	}
+	res.AddNote("the paper's observation: an aggressive filter (small scale) trades a small false-positive probability for eliminating false negatives")
+	return res, nil
+}
+
+// defaultTwoQueueProfile is the 2-queue WFQ bottleneck used by the
+// ablations.
+func defaultTwoQueueProfile(mk func() ecn.Marker) topo.PortProfile {
+	return topo.PortProfile{
+		Weights:   []float64{1, 1},
+		NewSched:  func(w []float64) sched.Scheduler { return sched.NewWFQ(w) },
+		NewMarker: mk,
+	}
+}

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"pmsb/internal/pkt"
+	"pmsb/internal/sched"
+	"pmsb/internal/sim"
+)
+
+// Handler consumes packets delivered to a host. Transport endpoints
+// (DCTCP senders and receivers) implement it.
+type Handler interface {
+	Handle(p *pkt.Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *pkt.Packet)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(p *pkt.Packet) { f(p) }
+
+// Host is an end system: an outgoing NIC port plus a per-flow demux of
+// incoming packets to transport endpoints.
+type Host struct {
+	id       pkt.NodeID
+	eng      *sim.Engine
+	nic      *Port
+	handlers map[pkt.FlowID]Handler
+
+	rxPackets, rxBytes int64
+	unclaimedPackets   int64
+}
+
+var _ Node = (*Host)(nil)
+
+// NewHost returns a host with no NIC; call AttachNIC before sending.
+func NewHost(eng *sim.Engine, id pkt.NodeID) *Host {
+	return &Host{
+		id:       id,
+		eng:      eng,
+		handlers: make(map[pkt.FlowID]Handler),
+	}
+}
+
+// AttachNIC connects the host's outgoing link through a FIFO NIC port
+// and returns that port (useful for taps).
+func (h *Host) AttachNIC(link *Link) *Port {
+	h.nic = NewPort(h.eng, link, PortConfig{Sched: sched.NewFIFO()})
+	return h.nic
+}
+
+// NodeID implements Node.
+func (h *Host) NodeID() pkt.NodeID { return h.id }
+
+// NIC returns the host's NIC port (nil before AttachNIC).
+func (h *Host) NIC() *Port { return h.nic }
+
+// Send transmits a packet out of the host's NIC. Packets sent before a
+// NIC is attached are dropped silently (counted as unclaimed).
+func (h *Host) Send(p *pkt.Packet) {
+	if h.nic == nil {
+		h.unclaimedPackets++
+		return
+	}
+	h.nic.Send(p)
+}
+
+// Receive implements Node: packets are dispatched to the handler
+// registered for their flow.
+func (h *Host) Receive(p *pkt.Packet) {
+	h.rxPackets++
+	h.rxBytes += int64(p.Size)
+	if hd, ok := h.handlers[p.Flow]; ok {
+		hd.Handle(p)
+		return
+	}
+	h.unclaimedPackets++
+}
+
+// Attach registers a handler for a flow's packets arriving at this host.
+func (h *Host) Attach(flow pkt.FlowID, hd Handler) {
+	h.handlers[flow] = hd
+}
+
+// Detach removes a flow's handler.
+func (h *Host) Detach(flow pkt.FlowID) {
+	delete(h.handlers, flow)
+}
+
+// RxBytes returns the total bytes received by the host.
+func (h *Host) RxBytes() int64 { return h.rxBytes }
+
+// RxPackets returns the total packets received by the host.
+func (h *Host) RxPackets() int64 { return h.rxPackets }
+
+// UnclaimedPackets counts packets that arrived with no registered
+// handler (or sends before a NIC existed) — normally zero.
+func (h *Host) UnclaimedPackets() int64 { return h.unclaimedPackets }

@@ -1,0 +1,42 @@
+package netsim
+
+import (
+	"time"
+
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+// Link is a unidirectional point-to-point link. Serialization time is
+// charged by the transmitting Port (which owns the link and stays busy
+// for size/rate); the link itself adds the propagation delay. A
+// bidirectional cable is modeled as two Links.
+type Link struct {
+	eng   *sim.Engine
+	rate  units.Rate
+	delay time.Duration
+	to    Node
+}
+
+// NewLink returns a link delivering packets to node "to" with the given
+// capacity and one-way propagation delay.
+func NewLink(eng *sim.Engine, rate units.Rate, delay time.Duration, to Node) *Link {
+	return &Link{eng: eng, rate: rate, delay: delay, to: to}
+}
+
+// Rate returns the link capacity.
+func (l *Link) Rate() units.Rate { return l.rate }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// To returns the receiving node.
+func (l *Link) To() Node { return l.to }
+
+// Deliver propagates p to the far end. The caller must already have
+// charged serialization time (ports do this while holding the
+// transmitter busy).
+func (l *Link) Deliver(p *pkt.Packet) {
+	l.eng.Schedule(l.delay, func() { l.to.Receive(p) })
+}

@@ -1,0 +1,19 @@
+// Package netsim is the packet-level network substrate: unidirectional
+// links with serialization and propagation delay, output-queued switch
+// ports with multi-queue schedulers and pluggable ECN markers, hosts
+// that demultiplex packets to transport endpoints, and switches with
+// pluggable routing.
+//
+// Together with internal/sim it plays the role NS-3 plays in the paper's
+// evaluation (see DESIGN.md for the substitution argument).
+package netsim
+
+import "pmsb/internal/pkt"
+
+// Node is anything that can terminate a link: a host or a switch.
+type Node interface {
+	// NodeID returns the node's topology-unique identifier.
+	NodeID() pkt.NodeID
+	// Receive handles a packet arriving over a link.
+	Receive(p *pkt.Packet)
+}

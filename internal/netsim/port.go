@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"time"
+
+	"pmsb/internal/ecn"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sched"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+// Tap observes packets at a port event (enqueue, dequeue, drop). q is
+// the queue the packet was classified into.
+type Tap func(p *pkt.Packet, q int)
+
+// PortConfig configures an output port.
+type PortConfig struct {
+	// Sched is the packet scheduler owning the port's queues (required).
+	Sched sched.Scheduler
+	// Marker decides ECN marks; nil means no marking.
+	Marker ecn.Marker
+	// BufferBytes is the shared per-port buffer capacity; arriving
+	// packets that would exceed it are tail-dropped. 0 means unlimited.
+	BufferBytes int
+	// Classify maps packets to queue indices; the default uses
+	// Service modulo the queue count.
+	Classify func(p *pkt.Packet) int
+	// Pool, when non-nil, tracks this port's occupancy in a shared
+	// service pool (for per-service-pool marking).
+	Pool *ecn.Pool
+	// DropFn, when non-nil, is consulted for every arriving packet;
+	// returning true discards it. It exists for failure injection in
+	// tests (random loss, targeted loss) and is applied before buffer
+	// admission.
+	DropFn func(p *pkt.Packet) bool
+	// Shared, when non-nil, applies Dynamic Threshold admission from a
+	// switch-wide buffer pool in addition to (or instead of)
+	// BufferBytes.
+	Shared *SharedBuffer
+}
+
+// Port is an output-queued switch (or NIC) port: classified packets
+// enter the scheduler's queues, a single transmitter drains them onto
+// the attached link, and the configured marker applies CE marks at its
+// mark point. Port implements ecn.PortView for its marker.
+type Port struct {
+	eng  *sim.Engine
+	link *Link
+	cfg  PortConfig
+
+	busy   bool
+	paused bool
+
+	// PortStats counters.
+	txPackets, txBytes     int64
+	dropPackets, dropBytes int64
+	markedPackets          int64
+
+	enqueueTaps []Tap
+	dequeueTaps []Tap
+	dropTaps    []Tap
+}
+
+var _ ecn.PortView = (*Port)(nil)
+
+// idleObserver is implemented by schedulers (DWRR) that want to know
+// when an enqueue follows an idle period, to reset round-time state.
+type idleObserver interface {
+	ObserveIdle(now time.Duration)
+}
+
+// NewPort creates a port transmitting on link. cfg.Sched must be set.
+func NewPort(eng *sim.Engine, link *Link, cfg PortConfig) *Port {
+	if cfg.Sched == nil {
+		panic("netsim: PortConfig.Sched is required")
+	}
+	if cfg.Marker == nil {
+		cfg.Marker = ecn.None{}
+	}
+	if cfg.Classify == nil {
+		n := cfg.Sched.NumQueues()
+		cfg.Classify = func(p *pkt.Packet) int {
+			q := p.Service % n
+			if q < 0 {
+				q += n
+			}
+			return q
+		}
+	}
+	return &Port{eng: eng, link: link, cfg: cfg}
+}
+
+// Send classifies, optionally marks (enqueue point), enqueues, and kicks
+// the transmitter. Packets beyond the buffer capacity are tail-dropped.
+func (p *Port) Send(packet *pkt.Packet) {
+	q := p.cfg.Classify(packet)
+	s := p.cfg.Sched
+	if p.cfg.DropFn != nil && p.cfg.DropFn(packet) {
+		p.dropPackets++
+		p.dropBytes += int64(packet.Size)
+		for _, tap := range p.dropTaps {
+			tap(packet, q)
+		}
+		return
+	}
+	if p.cfg.BufferBytes > 0 && s.TotalBytes()+packet.Size > p.cfg.BufferBytes {
+		p.dropPackets++
+		p.dropBytes += int64(packet.Size)
+		for _, tap := range p.dropTaps {
+			tap(packet, q)
+		}
+		return
+	}
+	if p.cfg.Shared != nil && !p.cfg.Shared.Admit(s.TotalBytes(), packet.Size) {
+		p.dropPackets++
+		p.dropBytes += int64(packet.Size)
+		for _, tap := range p.dropTaps {
+			tap(packet, q)
+		}
+		return
+	}
+	if s.TotalPackets() == 0 {
+		if obs, ok := s.(idleObserver); ok {
+			obs.ObserveIdle(p.eng.Now())
+		}
+	}
+	packet.EnqueuedAt = p.eng.Now()
+	// The marking decision observes the queue state *before* the packet
+	// is added, matching classic RED/ECN behaviour.
+	if packet.ECT && p.cfg.Marker.Point() == ecn.AtEnqueue &&
+		p.cfg.Marker.ShouldMark(p, q, packet) {
+		packet.CE = true
+		p.markedPackets++
+	}
+	s.Enqueue(q, packet)
+	if p.cfg.Pool != nil {
+		p.cfg.Pool.Add(packet.Size)
+	}
+	for _, tap := range p.enqueueTaps {
+		tap(packet, q)
+	}
+	p.kick()
+}
+
+// kick starts the transmitter if it is idle, unpaused and a packet is
+// waiting.
+func (p *Port) kick() {
+	if p.busy || p.paused {
+		return
+	}
+	packet, q, ok := p.cfg.Sched.Dequeue()
+	if !ok {
+		return
+	}
+	if p.cfg.Pool != nil {
+		p.cfg.Pool.Add(-packet.Size)
+	}
+	if p.cfg.Shared != nil {
+		p.cfg.Shared.Release(packet.Size)
+	}
+	// Dequeue-point marking observes the occupancy without the departing
+	// packet (it has already left the queue).
+	if packet.ECT && p.cfg.Marker.Point() == ecn.AtDequeue &&
+		p.cfg.Marker.ShouldMark(p, q, packet) {
+		packet.CE = true
+		p.markedPackets++
+	}
+	for _, tap := range p.dequeueTaps {
+		tap(packet, q)
+	}
+	p.busy = true
+	p.txPackets++
+	p.txBytes += int64(packet.Size)
+	ser := units.Serialization(packet.Size, p.link.Rate())
+	p.eng.Schedule(ser, func() {
+		p.busy = false
+		p.link.Deliver(packet)
+		p.kick()
+	})
+}
+
+// Pause stops the transmitter after the in-flight packet completes
+// (PFC backpressure). Buffered packets stay queued; arriving packets
+// keep being admitted subject to the buffer limits.
+func (p *Port) Pause() { p.paused = true }
+
+// Resume re-enables the transmitter and restarts it if work is queued.
+func (p *Port) Resume() {
+	if !p.paused {
+		return
+	}
+	p.paused = false
+	p.kick()
+}
+
+// IsPaused reports whether the transmitter is paused.
+func (p *Port) IsPaused() bool { return p.paused }
+
+// OnEnqueue registers a tap invoked after each successful enqueue.
+func (p *Port) OnEnqueue(t Tap) { p.enqueueTaps = append(p.enqueueTaps, t) }
+
+// OnDequeue registers a tap invoked when a packet begins transmission.
+func (p *Port) OnDequeue(t Tap) { p.dequeueTaps = append(p.dequeueTaps, t) }
+
+// OnDrop registers a tap invoked when a packet is tail-dropped.
+func (p *Port) OnDrop(t Tap) { p.dropTaps = append(p.dropTaps, t) }
+
+// Link returns the attached link.
+func (p *Port) Link() *Link { return p.link }
+
+// Scheduler returns the port's scheduler.
+func (p *Port) Scheduler() sched.Scheduler { return p.cfg.Sched }
+
+// TxPackets returns the number of packets transmitted.
+func (p *Port) TxPackets() int64 { return p.txPackets }
+
+// TxBytes returns the number of bytes transmitted.
+func (p *Port) TxBytes() int64 { return p.txBytes }
+
+// DropPackets returns the number of packets tail-dropped.
+func (p *Port) DropPackets() int64 { return p.dropPackets }
+
+// DropBytes returns the number of bytes tail-dropped.
+func (p *Port) DropBytes() int64 { return p.dropBytes }
+
+// MarkedPackets returns the number of packets CE-marked at this port.
+func (p *Port) MarkedPackets() int64 { return p.markedPackets }
+
+// NumQueues implements ecn.PortView.
+func (p *Port) NumQueues() int { return p.cfg.Sched.NumQueues() }
+
+// QueueBytes implements ecn.PortView.
+func (p *Port) QueueBytes(q int) int { return p.cfg.Sched.QueueBytes(q) }
+
+// QueuePackets implements ecn.PortView.
+func (p *Port) QueuePackets(q int) int { return p.cfg.Sched.QueuePackets(q) }
+
+// PortBytes implements ecn.PortView.
+func (p *Port) PortBytes() int { return p.cfg.Sched.TotalBytes() }
+
+// PortPackets implements ecn.PortView.
+func (p *Port) PortPackets() int { return p.cfg.Sched.TotalPackets() }
+
+// Weight implements ecn.PortView.
+func (p *Port) Weight(q int) float64 { return p.cfg.Sched.Weight(q) }
+
+// WeightSum implements ecn.PortView.
+func (p *Port) WeightSum() float64 { return p.cfg.Sched.WeightSum() }
+
+// LinkRate implements ecn.PortView.
+func (p *Port) LinkRate() units.Rate { return p.link.Rate() }
+
+// Now implements ecn.PortView.
+func (p *Port) Now() time.Duration { return p.eng.Now() }
+
+// Round implements ecn.PortView: it exposes round-based scheduler state
+// when the scheduler provides it (DWRR), else nil.
+func (p *Port) Round() ecn.RoundInfo {
+	if ri, ok := p.cfg.Sched.(sched.RoundInfo); ok {
+		return ri
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package netsim
+
+// SharedBuffer models the shared packet memory of a commodity switch
+// with the classic Dynamic Threshold (DT) admission policy (Choudhury &
+// Hahne; the policy behind the paper's reference [13]): a port may only
+// buffer up to
+//
+//	alpha x (capacity - used)
+//
+// bytes, so a lightly loaded pool grants large per-port bursts while a
+// crowded pool squeezes every port's share. Ports plug it in through
+// PortConfig.Shared; admission combines the DT threshold with the hard
+// pool capacity.
+type SharedBuffer struct {
+	capacity int
+	used     int
+	alpha    float64
+
+	rejects int64
+}
+
+// NewSharedBuffer returns a pool of the given byte capacity with DT
+// parameter alpha (commodity defaults are around 1.0; alpha <= 0 is
+// treated as 1).
+func NewSharedBuffer(capacity int, alpha float64) *SharedBuffer {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	return &SharedBuffer{capacity: capacity, alpha: alpha}
+}
+
+// Admit reports whether a packet of size bytes may be buffered by a
+// port currently holding portBytes, and reserves the space when it may.
+func (b *SharedBuffer) Admit(portBytes, size int) bool {
+	if b.used+size > b.capacity {
+		b.rejects++
+		return false
+	}
+	threshold := b.alpha * float64(b.capacity-b.used)
+	if float64(portBytes+size) > threshold {
+		b.rejects++
+		return false
+	}
+	b.used += size
+	return true
+}
+
+// Release returns size bytes to the pool (called at dequeue).
+func (b *SharedBuffer) Release(size int) {
+	b.used -= size
+	if b.used < 0 {
+		b.used = 0
+	}
+}
+
+// Used returns the occupied bytes.
+func (b *SharedBuffer) Used() int { return b.used }
+
+// Capacity returns the pool capacity in bytes.
+func (b *SharedBuffer) Capacity() int { return b.capacity }
+
+// Rejects counts admission failures.
+func (b *SharedBuffer) Rejects() int64 { return b.rejects }
+
+// Threshold returns the current per-port DT limit in bytes.
+func (b *SharedBuffer) Threshold() int {
+	return int(b.alpha * float64(b.capacity-b.used))
+}

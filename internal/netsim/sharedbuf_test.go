@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pmsb/internal/sched"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+func TestSharedBufferDTAdmission(t *testing.T) {
+	b := NewSharedBuffer(units.Packets(100), 1)
+	// Empty pool: threshold = full capacity.
+	if b.Threshold() != units.Packets(100) {
+		t.Fatalf("empty threshold = %d", b.Threshold())
+	}
+	if !b.Admit(0, units.MTU) {
+		t.Fatal("first packet must be admitted")
+	}
+	if b.Used() != units.MTU {
+		t.Fatalf("used = %d", b.Used())
+	}
+	b.Release(units.MTU)
+	if b.Used() != 0 {
+		t.Fatalf("used after release = %d", b.Used())
+	}
+	// Over-release clamps at zero.
+	b.Release(units.MTU)
+	if b.Used() != 0 {
+		t.Fatal("over-release must clamp at 0")
+	}
+}
+
+func TestSharedBufferSqueezesBusyPort(t *testing.T) {
+	b := NewSharedBuffer(units.Packets(100), 1)
+	// Fill 60 packets from "elsewhere".
+	if !b.Admit(0, units.Packets(60)) {
+		t.Fatal("bulk admit failed")
+	}
+	// DT threshold is now 40 packets: a port already holding 40 cannot
+	// buffer more.
+	if b.Admit(units.Packets(40), units.MTU) {
+		t.Fatal("DT must reject a port at its shrunken threshold")
+	}
+	// But a lightly loaded port still gets in.
+	if !b.Admit(0, units.MTU) {
+		t.Fatal("lightly loaded port must still be admitted")
+	}
+	if b.Rejects() != 1 {
+		t.Fatalf("rejects = %d, want 1", b.Rejects())
+	}
+}
+
+func TestSharedBufferHardCapacity(t *testing.T) {
+	b := NewSharedBuffer(units.Packets(2), 100) // huge alpha: only capacity binds
+	if !b.Admit(0, units.MTU) || !b.Admit(0, units.MTU) {
+		t.Fatal("capacity admits two packets")
+	}
+	if b.Admit(0, units.MTU) {
+		t.Fatal("pool over capacity must reject")
+	}
+}
+
+func TestSharedBufferDefaultAlpha(t *testing.T) {
+	b := NewSharedBuffer(1000, 0)
+	if b.Threshold() != 1000 {
+		t.Fatal("alpha <= 0 should behave as 1")
+	}
+}
+
+func TestPortWithSharedBuffer(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := NewSharedBuffer(3*units.MTU, 10)
+	dst := &sink{id: 2, eng: eng}
+	// Slow link so packets accumulate.
+	link := NewLink(eng, 100*units.Mbps, 0, dst)
+	port := NewPort(eng, link, PortConfig{Sched: sched.NewFIFO(), Shared: pool})
+
+	for i := 0; i < 6; i++ {
+		port.Send(dataPkt(uint64(i), units.MTU))
+	}
+	// One packet is in transmission (released from the pool), three are
+	// pooled, the rest dropped.
+	if pool.Used() != 3*units.MTU {
+		t.Fatalf("pool used = %d, want %d", pool.Used(), 3*units.MTU)
+	}
+	if port.DropPackets() != 2 {
+		t.Fatalf("drops = %d, want 2", port.DropPackets())
+	}
+	eng.Run()
+	if pool.Used() != 0 {
+		t.Fatalf("pool after drain = %d", pool.Used())
+	}
+	if len(dst.packets) != 4 {
+		t.Fatalf("delivered = %d, want 4", len(dst.packets))
+	}
+}
+
+func TestTwoPortsShareDTPool(t *testing.T) {
+	// A congested port must not starve a second port sharing the pool:
+	// DT always leaves headroom for lightly loaded ports.
+	eng := sim.NewEngine()
+	pool := NewSharedBuffer(units.Packets(20), 1)
+	dstA := &sink{id: 2, eng: eng}
+	dstB := &sink{id: 3, eng: eng}
+	slow := NewLink(eng, 10*units.Mbps, 0, dstA)
+	fast := NewLink(eng, 10*units.Gbps, 0, dstB)
+	portA := NewPort(eng, slow, PortConfig{Sched: sched.NewFIFO(), Shared: pool})
+	portB := NewPort(eng, fast, PortConfig{Sched: sched.NewFIFO(), Shared: pool})
+
+	// Flood the slow port.
+	for i := 0; i < 100; i++ {
+		portA.Send(dataPkt(uint64(i), units.MTU))
+	}
+	if pool.Used() >= pool.Capacity() {
+		t.Fatal("DT should stop the hog before the pool is full")
+	}
+	// The fast port must still be able to forward.
+	portB.Send(dataPkt(1000, units.MTU))
+	eng.RunUntil(10 * time.Millisecond)
+	if len(dstB.packets) != 1 {
+		t.Fatal("second port starved by the shared pool")
+	}
+}
+
+// Property: pool accounting never goes negative and never exceeds
+// capacity, for any admit/release interleaving.
+func TestPropertySharedBufferBounds(t *testing.T) {
+	f := func(ops []uint16, alphaRaw uint8) bool {
+		alpha := float64(alphaRaw%40)/10 + 0.1
+		b := NewSharedBuffer(units.Packets(50), alpha)
+		outstanding := 0
+		for _, op := range ops {
+			size := int(op%3000) + 1
+			if op%2 == 0 {
+				if b.Admit(0, size) {
+					outstanding += size
+				}
+			} else if outstanding > 0 {
+				b.Release(size % (outstanding + 1))
+			}
+			if b.Used() < 0 || b.Used() > b.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+)
+
+// RouteFunc selects the output port index for a packet, or -1 to drop it
+// (no route).
+type RouteFunc func(p *pkt.Packet) int
+
+// Switch is an output-queued switch: arriving packets are routed to one
+// of its ports and queued there. All contention happens at output ports,
+// the standard abstraction for datacenter switch models.
+type Switch struct {
+	id    pkt.NodeID
+	eng   *sim.Engine
+	ports []*Port
+	route RouteFunc
+
+	routeDrops int64
+}
+
+var _ Node = (*Switch)(nil)
+
+// NewSwitch returns a switch with no ports and no routes.
+func NewSwitch(eng *sim.Engine, id pkt.NodeID) *Switch {
+	return &Switch{id: id, eng: eng}
+}
+
+// NodeID implements Node.
+func (s *Switch) NodeID() pkt.NodeID { return s.id }
+
+// AddPort registers an output port and returns its index.
+func (s *Switch) AddPort(p *Port) int {
+	s.ports = append(s.ports, p)
+	return len(s.ports) - 1
+}
+
+// Port returns the output port at index i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// NumPorts returns the number of output ports.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// SetRoute installs the routing function.
+func (s *Switch) SetRoute(fn RouteFunc) { s.route = fn }
+
+// Receive implements Node: route and enqueue at the output port.
+func (s *Switch) Receive(p *pkt.Packet) {
+	if s.route == nil {
+		s.routeDrops++
+		return
+	}
+	i := s.route(p)
+	if i < 0 || i >= len(s.ports) {
+		s.routeDrops++
+		return
+	}
+	s.ports[i].Send(p)
+}
+
+// RouteDrops counts packets dropped for lack of a route — normally zero
+// in a correctly wired topology.
+func (s *Switch) RouteDrops() int64 { return s.routeDrops }

@@ -1,0 +1,55 @@
+// Package pkt defines the packet representation shared by every layer of
+// the simulator: schedulers queue packets, ECN markers inspect and mark
+// them, links carry them, and transports produce and consume them.
+package pkt
+
+import "time"
+
+// FlowID identifies a transport flow (a sender/receiver pair).
+type FlowID uint64
+
+// NodeID identifies a host or switch in a topology.
+type NodeID int32
+
+// Broadcast is the invalid/unset node ID.
+const NoNode NodeID = -1
+
+// Packet is a simulated network packet. Packets are passed by pointer and
+// mutated in place as they traverse the network (ECN marking, enqueue
+// timestamps), exactly like a real packet's header fields.
+type Packet struct {
+	// ID is a globally unique packet identifier (debugging/tracing).
+	ID uint64
+	// Flow is the transport flow this packet belongs to.
+	Flow FlowID
+	// Src and Dst are the endpoints.
+	Src, Dst NodeID
+	// Size is the wire size in bytes (headers included).
+	Size int
+	// Payload is the number of payload bytes carried (0 for pure ACKs).
+	Payload int
+	// Seq is the sequence number of the first payload byte.
+	Seq int64
+	// IsAck marks a pure acknowledgement.
+	IsAck bool
+	// AckNo is the cumulative acknowledgement (next expected byte).
+	AckNo int64
+	// ECT marks the packet ECN-capable; only ECT packets may be marked.
+	ECT bool
+	// CE is the Congestion Experienced codepoint, set by switch markers.
+	CE bool
+	// ECE is the echo bit on ACKs: the receiver copies the data packet's
+	// CE into the corresponding ACK's ECE (per-packet accurate echo, as
+	// DCTCP requires).
+	ECE bool
+	// Service selects the switch queue (the DSCP field of the paper).
+	Service int
+	// SentAt is the sender timestamp; receivers echo it in Echo so the
+	// sender can measure RTT without per-packet state.
+	SentAt time.Duration
+	// Echo is the echoed SentAt on an ACK.
+	Echo time.Duration
+	// EnqueuedAt is stamped by the switch port at enqueue time; markers
+	// that need sojourn time (TCN) read it at dequeue.
+	EnqueuedAt time.Duration
+}

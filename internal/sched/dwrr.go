@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"time"
+
+	"pmsb/internal/pkt"
+	"pmsb/internal/units"
+)
+
+// DWRR is the Deficit Weighted Round Robin scheduler. Each queue i has a
+// quantum proportional to its weight; a visit to a queue adds the quantum
+// to the queue's deficit counter and the queue may transmit packets while
+// the deficit covers them. DWRR is the round-based scheduler MQ-ECN was
+// designed for, so it additionally tracks the smoothed round time
+// (RoundInfo) that MQ-ECN's dynamic thresholds consume.
+type DWRR struct {
+	base
+	quantum []int // bytes per visit, per queue
+	active  []int // round-robin ring of backlogged queue indices
+	deficit []int
+	inRing  []bool
+
+	// now provides virtual time for round-time sampling; nil disables
+	// round timing (RoundTime reports 0).
+	now func() time.Duration
+	// beta is the EWMA history weight for the smoothed round time.
+	beta float64
+	// tIdle resets the round time after the port idles this long.
+	tIdle time.Duration
+
+	roundTime  time.Duration // smoothed
+	roundStart time.Duration
+	roundHead  int // queue id that opens the current round, -1 if idle
+	emptiedAt  time.Duration
+	everBusy   bool
+}
+
+var (
+	_ Scheduler = (*DWRR)(nil)
+	_ RoundInfo = (*DWRR)(nil)
+)
+
+// DWRROption customizes a DWRR scheduler.
+type DWRROption func(*DWRR)
+
+// WithClock supplies the virtual clock used to sample round times. MQ-ECN
+// needs it; plain DWRR scheduling does not.
+func WithClock(now func() time.Duration) DWRROption {
+	return func(d *DWRR) { d.now = now }
+}
+
+// WithRoundEWMA sets the smoothing weight beta (history fraction) for the
+// round-time estimate. The paper uses beta = 0.75.
+func WithRoundEWMA(beta float64) DWRROption {
+	return func(d *DWRR) { d.beta = beta }
+}
+
+// WithIdleReset sets the idle interval after which the smoothed round
+// time resets to zero. The paper sets it to one MTU transmission time.
+func WithIdleReset(tIdle time.Duration) DWRROption {
+	return func(d *DWRR) { d.tIdle = tIdle }
+}
+
+// NewDWRR returns a DWRR scheduler. weights determine each queue's share;
+// quantumBase is the quantum in bytes given to a queue of weight 1 per
+// round (it should be at least one MTU so every visit can transmit).
+func NewDWRR(weights []float64, quantumBase int, opts ...DWRROption) *DWRR {
+	if quantumBase < 1 {
+		quantumBase = units.MTU
+	}
+	d := &DWRR{
+		base:      newBase(weights),
+		quantum:   make([]int, len(weights)),
+		deficit:   make([]int, len(weights)),
+		inRing:    make([]bool, len(weights)),
+		beta:      0.75,
+		tIdle:     units.Serialization(units.MTU, 10*units.Gbps),
+		roundHead: -1,
+	}
+	for i, w := range weights {
+		q := int(w * float64(quantumBase))
+		if q < 1 {
+			q = 1
+		}
+		d.quantum[i] = q
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// Name implements Scheduler.
+func (d *DWRR) Name() string { return "DWRR" }
+
+// Enqueue implements Scheduler.
+func (d *DWRR) Enqueue(q int, p *pkt.Packet) {
+	d.checkQueue(q)
+	d.push(q, p)
+	if !d.inRing[q] {
+		d.inRing[q] = true
+		d.deficit[q] = 0
+		d.active = append(d.active, q)
+		if d.roundHead == -1 {
+			d.openRound(q)
+		}
+	}
+}
+
+// Dequeue implements Scheduler.
+func (d *DWRR) Dequeue() (*pkt.Packet, int, bool) {
+	for len(d.active) > 0 {
+		q := d.active[0]
+		head := d.queues[q].peek()
+		if head == nil {
+			// Defensive: queues never stay in the ring empty.
+			d.dropFromRing(q)
+			continue
+		}
+		if d.deficit[q] < head.Size {
+			d.deficit[q] += d.quantum[q]
+			d.rotate()
+			continue
+		}
+		p := d.pop(q)
+		d.deficit[q] -= p.Size
+		if d.queues[q].n == 0 {
+			d.dropFromRing(q)
+		}
+		if d.totalPkts == 0 {
+			d.markIdle()
+		}
+		return p, q, true
+	}
+	return nil, 0, false
+}
+
+// RoundTime implements RoundInfo: the EWMA-smoothed duration of one full
+// scheduling round. Zero means the port has been idle (MQ-ECN then falls
+// back to the full standard threshold).
+func (d *DWRR) RoundTime() time.Duration { return d.roundTime }
+
+// QuantumBytes implements RoundInfo.
+func (d *DWRR) QuantumBytes(q int) int { return d.quantum[q] }
+
+func (d *DWRR) rotate() {
+	q := d.active[0]
+	copy(d.active, d.active[1:])
+	d.active[len(d.active)-1] = q
+	if q == d.roundHead {
+		d.closeRound()
+	}
+}
+
+func (d *DWRR) dropFromRing(q int) {
+	for i, v := range d.active {
+		if v == q {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			break
+		}
+	}
+	d.inRing[q] = false
+	d.deficit[q] = 0
+	if q == d.roundHead {
+		d.closeRound()
+	}
+}
+
+// openRound starts timing a new round led by queue q.
+func (d *DWRR) openRound(q int) {
+	d.roundHead = q
+	if d.now != nil {
+		d.roundStart = d.now()
+	}
+}
+
+// closeRound samples the elapsed round time and elects the next round
+// head from the front of the ring.
+func (d *DWRR) closeRound() {
+	if d.now != nil {
+		sample := d.now() - d.roundStart
+		// Skip samples that span an idle gap longer than tIdle: they do
+		// not reflect a busy round.
+		if d.everBusy && d.now()-d.emptiedAt >= 0 && d.roundStart < d.emptiedAt {
+			d.roundTime = 0
+		} else {
+			d.roundTime = time.Duration(d.beta*float64(d.roundTime) + (1-d.beta)*float64(sample))
+		}
+	}
+	if len(d.active) == 0 {
+		d.roundHead = -1
+		return
+	}
+	d.openRound(d.active[0])
+}
+
+func (d *DWRR) markIdle() {
+	d.everBusy = true
+	if d.now != nil {
+		d.emptiedAt = d.now()
+		// After tIdle of inactivity the round estimate is stale; the
+		// next enqueue observes roundTime 0 via this lazy reset when the
+		// idle gap exceeds tIdle.
+	}
+}
+
+// ObserveIdle lets the port report the current time on enqueue so the
+// scheduler can reset its round estimate after a long idle gap. It is
+// optional: ports call it when the scheduler was empty.
+func (d *DWRR) ObserveIdle(now time.Duration) {
+	if d.everBusy && now-d.emptiedAt > d.tIdle {
+		d.roundTime = 0
+	}
+}

@@ -1,0 +1,47 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"pmsb/internal/pkt"
+	"pmsb/internal/sched"
+	"pmsb/internal/units"
+)
+
+// ExampleNewDWRR shows byte-accurate weighted sharing: with weights 1:2
+// and all queues backlogged, queue 1 receives two thirds of the service.
+func ExampleNewDWRR() {
+	s := sched.NewDWRR([]float64{1, 2}, units.MTU)
+	for i := 0; i < 30; i++ {
+		s.Enqueue(0, &pkt.Packet{Size: units.MTU})
+		s.Enqueue(1, &pkt.Packet{Size: units.MTU})
+	}
+	served := [2]int{}
+	for i := 0; i < 30; i++ {
+		_, q, _ := s.Dequeue()
+		served[q]++
+	}
+	fmt.Printf("queue0: %d packets, queue1: %d packets\n", served[0], served[1])
+	// Output:
+	// queue0: 10 packets, queue1: 20 packets
+}
+
+// ExampleNewSP shows strict priority: queue 0 drains completely before
+// queue 1 is touched.
+func ExampleNewSP() {
+	s := sched.NewSP(2)
+	s.Enqueue(1, &pkt.Packet{Size: 100, ID: 10})
+	s.Enqueue(0, &pkt.Packet{Size: 100, ID: 1})
+	s.Enqueue(0, &pkt.Packet{Size: 100, ID: 2})
+	for {
+		p, q, ok := s.Dequeue()
+		if !ok {
+			break
+		}
+		fmt.Printf("queue %d -> packet %d\n", q, p.ID)
+	}
+	// Output:
+	// queue 0 -> packet 1
+	// queue 0 -> packet 2
+	// queue 1 -> packet 10
+}

@@ -1,0 +1,33 @@
+package sched
+
+import "pmsb/internal/pkt"
+
+// FIFO is a single first-in-first-out queue. It is the discipline of
+// host NICs and of single-queue baseline experiments.
+type FIFO struct {
+	base
+}
+
+var _ Scheduler = (*FIFO)(nil)
+
+// NewFIFO returns a FIFO scheduler with a single queue.
+func NewFIFO() *FIFO {
+	return &FIFO{base: newBase(equalWeights(1))}
+}
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// Enqueue implements Scheduler. All packets share queue 0 regardless of q.
+func (f *FIFO) Enqueue(q int, p *pkt.Packet) {
+	f.push(0, p)
+}
+
+// Dequeue implements Scheduler.
+func (f *FIFO) Dequeue() (*pkt.Packet, int, bool) {
+	p := f.pop(0)
+	if p == nil {
+		return nil, 0, false
+	}
+	return p, 0, true
+}

@@ -1,0 +1,174 @@
+// Package sched implements the multi-queue packet schedulers evaluated in
+// the PMSB paper: FIFO, Weighted Round Robin (WRR), Deficit Weighted
+// Round Robin (DWRR), Weighted Fair Queueing (WFQ), Strict Priority (SP),
+// and the hierarchical SP+WFQ combination.
+//
+// A Scheduler owns a set of per-port queues. The switch port enqueues
+// classified packets and asks the scheduler which packet to transmit
+// next. All buffer accounting is in bytes (and packets) so that ECN
+// markers can read queue and port occupancy through the same interface.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"pmsb/internal/pkt"
+)
+
+// Scheduler is a multi-queue packet scheduler.
+//
+// Implementations are not safe for concurrent use; the simulator is
+// single-threaded by design.
+type Scheduler interface {
+	// Name identifies the scheduling discipline (e.g. "DWRR").
+	Name() string
+	// NumQueues returns the number of queues.
+	NumQueues() int
+	// Enqueue appends p to queue q. q must be in [0, NumQueues).
+	Enqueue(q int, p *pkt.Packet)
+	// Dequeue removes and returns the next packet to transmit together
+	// with the queue it came from. ok is false when all queues are empty.
+	Dequeue() (p *pkt.Packet, q int, ok bool)
+	// QueueBytes returns the buffered bytes of queue q.
+	QueueBytes(q int) int
+	// QueuePackets returns the buffered packet count of queue q.
+	QueuePackets(q int) int
+	// TotalBytes returns the buffered bytes across all queues.
+	TotalBytes() int
+	// TotalPackets returns the buffered packets across all queues.
+	TotalPackets() int
+	// Weight returns the scheduling weight of queue q. Schedulers
+	// without an inherent weight notion (FIFO, SP) report equal weights
+	// so weight-proportional ECN thresholds remain well defined.
+	Weight(q int) float64
+	// WeightSum returns the sum of all queue weights.
+	WeightSum() float64
+}
+
+// RoundInfo is implemented by round-based schedulers (DWRR, WRR) and
+// exposes the state MQ-ECN needs: the smoothed round time and each
+// queue's per-round quantum in bytes.
+type RoundInfo interface {
+	// RoundTime returns the smoothed time of one scheduling round
+	// (zero when the port has been idle).
+	RoundTime() time.Duration
+	// QuantumBytes returns queue q's quantum in bytes per round.
+	QuantumBytes(q int) int
+}
+
+// fifo is a growable ring buffer of packets with O(1) push and pop.
+type fifo struct {
+	buf   []*pkt.Packet
+	head  int
+	n     int
+	bytes int
+}
+
+func (f *fifo) push(p *pkt.Packet) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = p
+	f.n++
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *pkt.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	f.bytes -= p.Size
+	return p
+}
+
+func (f *fifo) peek() *pkt.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	return f.buf[f.head]
+}
+
+func (f *fifo) grow() {
+	capacity := len(f.buf) * 2
+	if capacity == 0 {
+		capacity = 16
+	}
+	next := make([]*pkt.Packet, capacity)
+	for i := 0; i < f.n; i++ {
+		next[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = next
+	f.head = 0
+}
+
+// base carries the queue bookkeeping shared by every scheduler.
+type base struct {
+	queues     []fifo
+	weights    []float64
+	weightSum  float64
+	totalBytes int
+	totalPkts  int
+}
+
+func newBase(weights []float64) base {
+	w := make([]float64, len(weights))
+	copy(w, weights)
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	return base{
+		queues:    make([]fifo, len(w)),
+		weights:   w,
+		weightSum: sum,
+	}
+}
+
+// equalWeights returns n weights of 1.
+func equalWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func (b *base) NumQueues() int { return len(b.queues) }
+
+func (b *base) QueueBytes(q int) int { return b.queues[q].bytes }
+
+func (b *base) QueuePackets(q int) int { return b.queues[q].n }
+
+func (b *base) TotalBytes() int { return b.totalBytes }
+
+func (b *base) TotalPackets() int { return b.totalPkts }
+
+func (b *base) Weight(q int) float64 { return b.weights[q] }
+
+func (b *base) WeightSum() float64 { return b.weightSum }
+
+func (b *base) push(q int, p *pkt.Packet) {
+	b.queues[q].push(p)
+	b.totalBytes += p.Size
+	b.totalPkts++
+}
+
+func (b *base) pop(q int) *pkt.Packet {
+	p := b.queues[q].pop()
+	if p != nil {
+		b.totalBytes -= p.Size
+		b.totalPkts--
+	}
+	return p
+}
+
+func (b *base) checkQueue(q int) {
+	if q < 0 || q >= len(b.queues) {
+		panic(fmt.Sprintf("sched: queue index %d out of range [0,%d)", q, len(b.queues)))
+	}
+}

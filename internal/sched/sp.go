@@ -1,0 +1,38 @@
+package sched
+
+import "pmsb/internal/pkt"
+
+// SP is the Strict Priority scheduler: queue 0 has the highest priority
+// and is always served first; queue i is served only when queues
+// 0..i-1 are empty.
+type SP struct {
+	base
+}
+
+var _ Scheduler = (*SP)(nil)
+
+// NewSP returns a strict-priority scheduler with n queues. Weights are
+// reported as equal (1 each) so weight-proportional ECN thresholds
+// remain defined; SP itself ignores weights.
+func NewSP(n int) *SP {
+	return &SP{base: newBase(equalWeights(n))}
+}
+
+// Name implements Scheduler.
+func (s *SP) Name() string { return "SP" }
+
+// Enqueue implements Scheduler.
+func (s *SP) Enqueue(q int, p *pkt.Packet) {
+	s.checkQueue(q)
+	s.push(q, p)
+}
+
+// Dequeue implements Scheduler.
+func (s *SP) Dequeue() (*pkt.Packet, int, bool) {
+	for q := range s.queues {
+		if s.queues[q].n > 0 {
+			return s.pop(q), q, true
+		}
+	}
+	return nil, 0, false
+}

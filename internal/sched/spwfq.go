@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"math"
+
+	"pmsb/internal/pkt"
+)
+
+// SPWFQ is the hierarchical scheduler of the paper's Section VI-A.3:
+// the first High queues are strict-priority (queue 0 highest) and the
+// remaining queues share the leftover bandwidth by WFQ with the given
+// weights. A backlogged strict queue always preempts the WFQ group.
+type SPWFQ struct {
+	base
+	high  int
+	tags  []tagFifo
+	last  []float64
+	vtime float64
+}
+
+var _ Scheduler = (*SPWFQ)(nil)
+
+// NewSPWFQ returns an SP+WFQ scheduler. high is the number of leading
+// strict-priority queues; weights gives all queue weights (the first
+// high entries matter only for ECN threshold proportionality, not for
+// scheduling order).
+func NewSPWFQ(high int, weights []float64) *SPWFQ {
+	if high < 0 {
+		high = 0
+	}
+	if high > len(weights) {
+		high = len(weights)
+	}
+	return &SPWFQ{
+		base: newBase(weights),
+		high: high,
+		tags: make([]tagFifo, len(weights)),
+		last: make([]float64, len(weights)),
+	}
+}
+
+// Name implements Scheduler.
+func (s *SPWFQ) Name() string { return "SP+WFQ" }
+
+// Enqueue implements Scheduler.
+func (s *SPWFQ) Enqueue(q int, p *pkt.Packet) {
+	s.checkQueue(q)
+	if q >= s.high {
+		weight := s.weights[q]
+		if weight <= 0 {
+			weight = 1e-9
+		}
+		start := math.Max(s.vtime, s.last[q])
+		s.last[q] = start + float64(p.Size)/weight
+		s.tags[q].push(s.last[q])
+	}
+	s.push(q, p)
+}
+
+// Dequeue implements Scheduler.
+func (s *SPWFQ) Dequeue() (*pkt.Packet, int, bool) {
+	for q := 0; q < s.high; q++ {
+		if s.queues[q].n > 0 {
+			return s.pop(q), q, true
+		}
+	}
+	best := -1
+	bestTag := math.Inf(1)
+	for q := s.high; q < len(s.queues); q++ {
+		if s.queues[q].n == 0 {
+			continue
+		}
+		if tag := s.tags[q].peek(); tag < bestTag {
+			bestTag = tag
+			best = q
+		}
+	}
+	if best < 0 {
+		return nil, 0, false
+	}
+	p := s.pop(best)
+	s.tags[best].pop()
+	s.vtime = math.Max(s.vtime, bestTag)
+	if s.lowEmpty() {
+		s.vtime = 0
+		for q := s.high; q < len(s.last); q++ {
+			s.last[q] = 0
+		}
+	}
+	return p, best, true
+}
+
+func (s *SPWFQ) lowEmpty() bool {
+	for q := s.high; q < len(s.queues); q++ {
+		if s.queues[q].n > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"math"
+
+	"pmsb/internal/pkt"
+)
+
+// WFQ is a Weighted Fair Queueing scheduler using per-packet virtual
+// finish tags. Each arriving packet receives a finish tag
+//
+//	F = max(V, F_last(q)) + size/weight(q)
+//
+// where V is the system virtual time; dequeue serves the backlogged
+// queue whose head packet has the smallest finish tag. This is the
+// classic packetized approximation of Generalized Processor Sharing and
+// is exactly the non-round-based scheduler MQ-ECN cannot support but
+// PMSB can (paper Section II-C / VI-B.2).
+type WFQ struct {
+	base
+	tags  []tagFifo // parallel finish-tag queues
+	last  []float64 // last assigned finish tag per queue
+	vtime float64
+}
+
+var _ Scheduler = (*WFQ)(nil)
+
+// NewWFQ returns a WFQ scheduler with the given queue weights.
+func NewWFQ(weights []float64) *WFQ {
+	return &WFQ{
+		base: newBase(weights),
+		tags: make([]tagFifo, len(weights)),
+		last: make([]float64, len(weights)),
+	}
+}
+
+// Name implements Scheduler.
+func (w *WFQ) Name() string { return "WFQ" }
+
+// Enqueue implements Scheduler.
+func (w *WFQ) Enqueue(q int, p *pkt.Packet) {
+	w.checkQueue(q)
+	weight := w.weights[q]
+	if weight <= 0 {
+		weight = 1e-9
+	}
+	start := math.Max(w.vtime, w.last[q])
+	finish := start + float64(p.Size)/weight
+	w.last[q] = finish
+	w.push(q, p)
+	w.tags[q].push(finish)
+}
+
+// Dequeue implements Scheduler.
+func (w *WFQ) Dequeue() (*pkt.Packet, int, bool) {
+	best := -1
+	bestTag := math.Inf(1)
+	for q := range w.queues {
+		if w.queues[q].n == 0 {
+			continue
+		}
+		if tag := w.tags[q].peek(); tag < bestTag {
+			bestTag = tag
+			best = q
+		}
+	}
+	if best < 0 {
+		return nil, 0, false
+	}
+	p := w.pop(best)
+	w.tags[best].pop()
+	w.vtime = math.Max(w.vtime, bestTag)
+	if w.totalPkts == 0 {
+		// Reset virtual time when the system drains so tags cannot grow
+		// without bound across idle periods.
+		w.vtime = 0
+		for q := range w.last {
+			w.last[q] = 0
+		}
+	}
+	return p, best, true
+}
+
+// tagFifo is a ring buffer of float64 finish tags mirroring a packet fifo.
+type tagFifo struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+func (f *tagFifo) push(v float64) {
+	if f.n == len(f.buf) {
+		capacity := len(f.buf) * 2
+		if capacity == 0 {
+			capacity = 16
+		}
+		next := make([]float64, capacity)
+		for i := 0; i < f.n; i++ {
+			next[i] = f.buf[(f.head+i)%len(f.buf)]
+		}
+		f.buf = next
+		f.head = 0
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = v
+	f.n++
+}
+
+func (f *tagFifo) pop() float64 {
+	v := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return v
+}
+
+func (f *tagFifo) peek() float64 { return f.buf[f.head] }

@@ -1,0 +1,102 @@
+// Package schemes maps user-facing names ("pmsb", "tcn", "dwrr", ...)
+// to the library's schedulers, markers and transport filters. The CLIs
+// (cmd/pmsbflow, cmd/pmsbtrace) share it so flags behave identically.
+package schemes
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/sim"
+	"pmsb/internal/topo"
+	"pmsb/internal/transport"
+	"pmsb/internal/units"
+)
+
+// SchedulerNames lists the accepted scheduler names.
+func SchedulerNames() []string {
+	return []string{"fifo", "wrr", "dwrr", "wfq", "sp", "spwfq"}
+}
+
+// MarkerNames lists the accepted marking-scheme names.
+func MarkerNames() []string {
+	return []string{"none", "perqueue", "fractional", "perport", "mqecn", "tcn", "red", "pmsb", "pmsbe"}
+}
+
+// Scheduler returns the factory for the named discipline. Round-based
+// schedulers are wired to the engine clock so MQ-ECN works on them.
+func Scheduler(name string, eng *sim.Engine) (topo.SchedFactory, error) {
+	switch strings.ToLower(name) {
+	case "fifo":
+		return topo.FIFOFactory(), nil
+	case "wrr":
+		return topo.WRRFactory(eng), nil
+	case "dwrr":
+		return topo.DWRRFactory(eng), nil
+	case "wfq":
+		return topo.WFQFactory(), nil
+	case "sp":
+		return topo.SPFactory(), nil
+	case "spwfq":
+		return topo.SPWFQFactory(1), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q (want one of %v)", name, SchedulerNames())
+	}
+}
+
+// MarkerConfig parametrizes the marker families.
+type MarkerConfig struct {
+	// KBytes is the port/standard threshold in bytes.
+	KBytes int
+	// Rate is the link rate (for MQ-ECN/TCN time conversions).
+	Rate units.Rate
+	// Dequeue selects dequeue-point marking where configurable.
+	Dequeue bool
+	// RTTThreshold is PMSB(e)'s accept boundary.
+	RTTThreshold time.Duration
+}
+
+// Marker returns the marker factory for the named scheme plus the
+// end-host filter factory when the scheme includes one (pmsbe), or
+// nil factories for "none".
+func Marker(name string, cfg MarkerConfig) (topo.MarkerFactory, func() transport.Filter, error) {
+	point := ecn.AtEnqueue
+	if cfg.Dequeue {
+		point = ecn.AtDequeue
+	}
+	k := cfg.KBytes
+	switch strings.ToLower(name) {
+	case "none":
+		return nil, nil, nil
+	case "perqueue":
+		return func() ecn.Marker { return &ecn.PerQueueStandard{K: k, MarkPoint: point} }, nil, nil
+	case "fractional":
+		return func() ecn.Marker { return &ecn.PerQueueFractional{PortK: k, MarkPoint: point} }, nil, nil
+	case "perport":
+		return func() ecn.Marker { return &ecn.PerPort{K: k, MarkPoint: point} }, nil, nil
+	case "mqecn":
+		return func() ecn.Marker {
+			return &ecn.MQECN{RTT: units.Serialization(k, cfg.Rate), Lambda: 1, MarkPoint: point}
+		}, nil, nil
+	case "tcn":
+		return func() ecn.Marker { return &ecn.TCN{Threshold: units.Serialization(k, cfg.Rate)} }, nil, nil
+	case "red":
+		return func() ecn.Marker { return &ecn.RED{MinK: k / 2, MaxK: k, MaxP: 1, MarkPoint: point} }, nil, nil
+	case "pmsb":
+		return func() ecn.Marker { return &core.PMSB{PortK: k, MarkPoint: point} }, nil, nil
+	case "pmsbe":
+		filter := func() transport.Filter { return &core.PMSBe{RTTThreshold: cfg.RTTThreshold} }
+		return func() ecn.Marker { return &ecn.PerPort{K: k, MarkPoint: point} }, filter, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown marker %q (want one of %v)", name, MarkerNames())
+	}
+}
+
+// RoundBased reports whether the named scheme requires a round-based
+// scheduler (MQ-ECN's limitation).
+func RoundBased(marker string) bool {
+	return strings.ToLower(marker) == "mqecn"
+}

@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pmsb/internal/units"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("zero-value Summary should answer zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	// Interpolated percentile.
+	if got := s.Percentile(25); got != 2 {
+		t.Fatalf("P25 = %v, want 2", got)
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(1500 * time.Millisecond)
+	if s.Mean() != 1.5 {
+		t.Fatalf("Mean = %v, want 1.5s", s.Mean())
+	}
+}
+
+func TestSummaryAddAfterPercentile(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	_ = s.Percentile(50)
+	s.Add(100)
+	if s.Max() != 100 {
+		t.Fatal("Add after sort must re-sort")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(11)
+	if len(cdf) != 11 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	if cdf[0].P != 0 || cdf[10].P != 1 {
+		t.Fatal("CDF endpoints wrong")
+	}
+	if cdf[0].X != 1 || cdf[10].X != 100 {
+		t.Fatalf("CDF X endpoints = %v, %v", cdf[0].X, cdf[10].X)
+	}
+	if s.CDF(1) != nil {
+		t.Fatal("CDF with <2 points should be nil")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range raw {
+			s.Add(v)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := s.Percentile(a), s.Percentile(b)
+		return pa <= pb && pa >= s.Min() && pb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond)
+	ts.Add(0, 1000)
+	ts.Add(500*time.Microsecond, 500)
+	ts.Add(2500*time.Microsecond, 250)
+	if ts.Bins() != 3 {
+		t.Fatalf("Bins = %d", ts.Bins())
+	}
+	if ts.Value(0) != 1500 || ts.Value(1) != 0 || ts.Value(2) != 250 {
+		t.Fatalf("bin values %v %v %v", ts.Value(0), ts.Value(1), ts.Value(2))
+	}
+	if ts.Value(-1) != 0 || ts.Value(100) != 0 {
+		t.Fatal("out-of-range bins must be 0")
+	}
+	// 1500 bytes in 1ms = 12 Mbps.
+	if got := ts.Rate(0); got != 12*units.Mbps {
+		t.Fatalf("Rate(0) = %v", got)
+	}
+	// MeanRate across 3 bins: 1750B over 3ms.
+	want := units.RateOf(1750, 3*time.Millisecond)
+	if got := ts.MeanRate(0, 3); got != want {
+		t.Fatalf("MeanRate = %v, want %v", got, want)
+	}
+	if ts.BinWidth() != time.Millisecond {
+		t.Fatal("BinWidth mismatch")
+	}
+}
+
+func TestTimeSeriesDefaultBin(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if ts.BinWidth() != time.Millisecond {
+		t.Fatal("zero bin width should default to 1ms")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var tr Trace
+	if tr.Max() != 0 || tr.MeanAfter(0) != 0 {
+		t.Fatal("empty trace should answer zeros")
+	}
+	tr.Record(0, 10)
+	tr.Record(time.Second, 50)
+	tr.Record(2*time.Second, 30)
+	if tr.Max() != 50 {
+		t.Fatalf("Max = %v", tr.Max())
+	}
+	if tr.MaxAfter(1500*time.Millisecond) != 30 {
+		t.Fatalf("MaxAfter = %v", tr.MaxAfter(1500*time.Millisecond))
+	}
+	if tr.MeanAfter(time.Second) != 40 {
+		t.Fatalf("MeanAfter = %v", tr.MeanAfter(time.Second))
+	}
+	if len(tr.Points()) != 3 {
+		t.Fatal("Points length wrong")
+	}
+}
+
+// Property: TimeSeries.MeanRate over the whole series equals RateOf the
+// total bytes.
+func TestPropertyMeanRateTotal(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		ts := NewTimeSeries(time.Millisecond)
+		var total int64
+		for i, v := range vals {
+			ts.Add(time.Duration(i)*time.Millisecond, float64(v))
+			total += int64(v)
+		}
+		want := units.RateOf(total, time.Duration(len(vals))*time.Millisecond)
+		return ts.MeanRate(0, len(vals)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero = %v", got)
+	}
+	if got := JainIndex([]float64{5, 5, 5}); got != 1 {
+		t.Fatalf("equal allocations = %v, want 1", got)
+	}
+	// One user hogging everything among n users: index = 1/n.
+	if got := JainIndex([]float64{10, 0, 0, 0}); got != 0.25 {
+		t.Fatalf("single hog = %v, want 0.25", got)
+	}
+}
+
+func TestWeightedJainIndex(t *testing.T) {
+	// Allocations exactly proportional to weights: index 1.
+	if got := WeightedJainIndex([]float64{2, 4, 6}, []float64{1, 2, 3}); got != 1 {
+		t.Fatalf("proportional = %v, want 1", got)
+	}
+	if got := WeightedJainIndex([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Fatal("length mismatch must return 0")
+	}
+	if got := WeightedJainIndex([]float64{1, 2}, []float64{1, 0}); got != 0 {
+		t.Fatal("non-positive weight must return 0")
+	}
+	// Violated weighted sharing scores below equal-share compliance.
+	violated := WeightedJainIndex([]float64{2.5, 7.5}, []float64{1, 1})
+	if violated >= 1 {
+		t.Fatalf("violation should score < 1, got %v", violated)
+	}
+}
+
+// Property: Jain index is scale-invariant and within (0, 1].
+func TestPropertyJainBounds(t *testing.T) {
+	f := func(raw []uint8, scaleRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		positive := false
+		for _, v := range raw {
+			xs = append(xs, float64(v))
+			if v > 0 {
+				positive = true
+			}
+		}
+		if !positive || len(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		if j <= 0 || j > 1+1e-12 {
+			return false
+		}
+		scale := float64(scaleRaw%9) + 1
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * scale
+		}
+		return math.Abs(JainIndex(scaled)-j) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceMinAfter(t *testing.T) {
+	var tr Trace
+	if tr.MinAfter(0) != 0 {
+		t.Fatal("empty trace MinAfter should be 0")
+	}
+	tr.Record(0, 50)
+	tr.Record(time.Second, 10)
+	tr.Record(2*time.Second, 30)
+	if tr.MinAfter(0) != 10 {
+		t.Fatalf("MinAfter(0) = %v", tr.MinAfter(0))
+	}
+	if tr.MinAfter(1500*time.Millisecond) != 30 {
+		t.Fatalf("MinAfter(1.5s) = %v", tr.MinAfter(1500*time.Millisecond))
+	}
+	if tr.MinAfter(time.Hour) != 0 {
+		t.Fatal("MinAfter past the trace should be 0")
+	}
+}
+
+func TestSummarySamplesCopy(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	s.Add(1)
+	got := s.Samples()
+	if len(got) != 2 {
+		t.Fatalf("Samples = %v", got)
+	}
+	got[0] = 99 // must not corrupt the summary
+	if s.Max() == 99 {
+		t.Fatal("Samples must return a copy")
+	}
+}

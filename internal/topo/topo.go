@@ -1,0 +1,113 @@
+// Package topo builds the two topologies of the paper's evaluation:
+//
+//   - a single-bottleneck dumbbell (N senders, one receiver, one switch)
+//     for the static-flow experiments of Sections II, III and VI-A, and
+//   - the 48-host leaf-spine fabric (4 leaves x 12 hosts, 4 spines,
+//     10 Gbps everywhere, ECMP) of the large-scale runs in Section VI-B.
+//
+// Every switch port is built from the same scheduler and marker
+// factories so an experiment configures one marking scheme fabric-wide,
+// as the paper's NS-3 scripts do.
+package topo
+
+import (
+	"time"
+
+	"pmsb/internal/ecn"
+	"pmsb/internal/netsim"
+	"pmsb/internal/sched"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+// SchedFactory builds a fresh scheduler for one port given the queue
+// weights (schedulers are stateful and cannot be shared across ports).
+type SchedFactory func(weights []float64) sched.Scheduler
+
+// MarkerFactory builds the marker for one port. Markers in this
+// repository are stateless with respect to the port, but a factory keeps
+// the door open for stateful schemes and per-port pools.
+type MarkerFactory func() ecn.Marker
+
+// PortProfile is the per-port configuration applied across a topology.
+type PortProfile struct {
+	// Weights are the queue weights (length = queue count).
+	Weights []float64
+	// NewSched builds each port's scheduler (required).
+	NewSched SchedFactory
+	// NewMarker builds each port's marker (nil = no marking).
+	NewMarker MarkerFactory
+	// BufferBytes is the shared per-port buffer (0 = unlimited).
+	BufferBytes int
+}
+
+// newPort instantiates one port from the profile.
+func (pp PortProfile) newPort(eng *sim.Engine, link *netsim.Link) *netsim.Port {
+	var m ecn.Marker
+	if pp.NewMarker != nil {
+		m = pp.NewMarker()
+	}
+	return netsim.NewPort(eng, link, netsim.PortConfig{
+		Sched:       pp.NewSched(pp.Weights),
+		Marker:      m,
+		BufferBytes: pp.BufferBytes,
+	})
+}
+
+// EqualWeights returns n equal (1.0) weights.
+func EqualWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// DWRRFactory returns a SchedFactory building DWRR schedulers wired to
+// the engine clock (so MQ-ECN can read round times).
+func DWRRFactory(eng *sim.Engine) SchedFactory {
+	return func(weights []float64) sched.Scheduler {
+		return sched.NewDWRR(weights, units.MTU, sched.WithClock(eng.Now))
+	}
+}
+
+// WRRFactory returns a SchedFactory building WRR schedulers wired to
+// the engine clock (round-based, so MQ-ECN works on them too).
+func WRRFactory(eng *sim.Engine) SchedFactory {
+	return func(weights []float64) sched.Scheduler {
+		return sched.NewWRR(weights, sched.WithWRRClock(eng.Now))
+	}
+}
+
+// WFQFactory returns a SchedFactory building WFQ schedulers.
+func WFQFactory() SchedFactory {
+	return func(weights []float64) sched.Scheduler { return sched.NewWFQ(weights) }
+}
+
+// SPFactory returns a SchedFactory building strict-priority schedulers.
+func SPFactory() SchedFactory {
+	return func(weights []float64) sched.Scheduler { return sched.NewSP(len(weights)) }
+}
+
+// SPWFQFactory returns a SchedFactory building SP+WFQ schedulers with
+// the given number of leading strict queues.
+func SPWFQFactory(high int) SchedFactory {
+	return func(weights []float64) sched.Scheduler { return sched.NewSPWFQ(high, weights) }
+}
+
+// FIFOFactory returns a SchedFactory building single-queue FIFOs.
+func FIFOFactory() SchedFactory {
+	return func([]float64) sched.Scheduler { return sched.NewFIFO() }
+}
+
+// BaseRTT estimates the unloaded round-trip time of a path with the
+// given number of traversed links (each adding propagation delay), one
+// data serialization per store-and-forward hop at rate, and the ACK
+// return serializations. It is the quantity the paper plugs into
+// K = C x RTT x lambda.
+func BaseRTT(hops int, delay time.Duration, rate units.Rate) time.Duration {
+	prop := time.Duration(2*hops) * delay
+	dataSer := time.Duration(hops) * units.Serialization(units.MTU, rate)
+	ackSer := time.Duration(hops) * units.Serialization(units.AckSize, rate)
+	return prop + dataSer + ackSer
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pmsb/internal/ecn"
+	"pmsb/internal/units"
+)
+
+func TestD2TCPGamma(t *testing.T) {
+	tests := []struct {
+		name  string
+		alpha float64
+		d     float64
+		want  func(g float64) bool
+	}{
+		{"no congestion", 0, 2, func(g float64) bool { return g == 0 }},
+		{"d=1 is dctcp", 0.5, 1, func(g float64) bool { return g == 0.5 }},
+		{"urgent backs off less", 0.5, 2, func(g float64) bool { return g == 0.25 }},
+		{"relaxed backs off more", 0.25, 0.5, func(g float64) bool { return g == 0.5 }},
+		{"zero d treated as 1", 0.3, 0, func(g float64) bool { return g == 0.3 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if g := d2tcpGamma(tt.alpha, tt.d); !tt.want(g) {
+				t.Fatalf("gamma(%v, %v) = %v", tt.alpha, tt.d, g)
+			}
+		})
+	}
+}
+
+func TestClampUrgency(t *testing.T) {
+	if clampUrgency(0.1) != 0.5 || clampUrgency(5) != 2 || clampUrgency(1.3) != 1.3 {
+		t.Fatal("clampUrgency bounds wrong")
+	}
+}
+
+// Property: gamma is monotone decreasing in urgency for alpha in (0,1):
+// the tighter the deadline, the smaller the cut.
+func TestPropertyGammaMonotone(t *testing.T) {
+	f := func(aRaw, d1Raw, d2Raw uint8) bool {
+		alpha := float64(aRaw%99+1) / 100 // (0,1)
+		d1 := clampUrgency(float64(d1Raw) / 64)
+		d2 := clampUrgency(float64(d2Raw) / 64)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		// Larger d => smaller gamma (alpha < 1).
+		return d2tcpGamma(alpha, d2) <= d2tcpGamma(alpha, d1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestD2TCPWithoutDeadlineIsDCTCP(t *testing.T) {
+	n := newBottleneckNet(t, &ecn.PerQueueStandard{K: units.Packets(16)}, nil,
+		units.Packets(100), 1*units.Gbps)
+	f := NewFlow(n.eng, n.a, n.b, 1, 0, 0, Config{}, nil)
+	f.Sender.Start()
+	n.eng.RunUntil(10 * time.Millisecond)
+	if f.Sender.Urgency() != 1 {
+		t.Fatalf("no-deadline urgency = %v, want 1", f.Sender.Urgency())
+	}
+	if !f.Sender.DeadlineMet() == f.Sender.Finished() {
+		// Long-lived flow never finishes; DeadlineMet must be false.
+	}
+	if f.Sender.DeadlineMet() {
+		t.Fatal("unfinished flow cannot have met a deadline")
+	}
+}
+
+func TestD2TCPUrgentFlowWinsBandwidth(t *testing.T) {
+	// Two equal flows share a 1G bottleneck under heavy marking. One is
+	// plain DCTCP; one has a tight D2TCP deadline. The urgent flow must
+	// finish first (it backs off less under the same marks).
+	size := int64(2_000_000)
+	build := func(deadline time.Duration) (time.Duration, time.Duration) {
+		n := newBottleneckNet(t, &ecn.PerQueueStandard{K: units.Packets(16)}, nil,
+			units.Packets(200), 1*units.Gbps)
+		c := attachExtraSender(n)
+		var fctA, fctB time.Duration
+		fa := NewFlow(n.eng, n.a, n.b, 1, 0, size, Config{Deadline: deadline},
+			func(s *Sender) { fctA = s.FCT() })
+		fb := NewFlow(n.eng, c, n.b, 2, 0, size, Config{},
+			func(s *Sender) { fctB = s.FCT() })
+		fa.Sender.Start()
+		fb.Sender.Start()
+		n.eng.RunUntil(5 * time.Second)
+		if fctA == 0 || fctB == 0 {
+			t.Fatal("flows did not complete")
+		}
+		return fctA, fctB
+	}
+
+	// Tight deadline: 60% of the fair-share completion time.
+	fair := time.Duration(float64(size*8*2) / 1e9 * float64(time.Second))
+	urgentFCT, rivalFCT := build(fair * 6 / 10)
+	if urgentFCT >= rivalFCT {
+		t.Fatalf("urgent flow FCT %v should beat rival %v", urgentFCT, rivalFCT)
+	}
+}

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"time"
+
+	"pmsb/internal/netsim"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+// Receiver is the DCTCP receiver endpoint. By default it acknowledges
+// every data packet with a cumulative ACK that echoes the packet's CE
+// codepoint in ECE (per-packet accurate echo). With delayed ACKs
+// enabled it instead runs the DCTCP paper's two-state ECE echo machine:
+// ACKs coalesce up to AckEvery packets while the CE state is stable,
+// and a state *change* forces an immediate ACK so the echoed marking
+// fraction stays exact.
+type Receiver struct {
+	eng     *sim.Engine
+	host    *netsim.Host
+	flow    pkt.FlowID
+	src     pkt.NodeID
+	service int
+
+	rcvNxt int64
+	// ooo holds out-of-order segments (seq -> payload length) until the
+	// gap before them fills.
+	ooo map[int64]int64
+
+	rxBytes   int64 // goodput: in-order payload bytes delivered
+	rxPackets int64
+	ceCount   int64
+
+	// Delayed-ACK state (DCTCP paper Section 3.2).
+	ackEvery int           // coalesce factor m (<=1: per-packet ACKs)
+	ackDelay time.Duration // flush timer for a held ACK (default 500us)
+	ceState  bool          // CE value of the run being coalesced
+	pending  int           // data packets since the last ACK
+	lastEcho time.Duration
+	flushT   *sim.Timer
+
+	nextPktID uint64
+}
+
+// ReceiverOption customizes a Receiver.
+type ReceiverOption func(*Receiver)
+
+// WithDelayedAcks turns on DCTCP's delayed-ACK echo state machine,
+// acknowledging every m-th packet while the CE state is stable. A held
+// ACK is flushed after 500us so a flow's tail is never stranded.
+func WithDelayedAcks(m int) ReceiverOption {
+	return func(r *Receiver) {
+		r.ackEvery = m
+		r.ackDelay = 500 * time.Microsecond
+	}
+}
+
+// WithAckDelay overrides the delayed-ACK flush timer.
+func WithAckDelay(d time.Duration) ReceiverOption {
+	return func(r *Receiver) { r.ackDelay = d }
+}
+
+// NewReceiver creates a receiver for flow f at host dst, acknowledging
+// back to src. service classifies the reverse (ACK) path.
+func NewReceiver(eng *sim.Engine, dst *netsim.Host, f pkt.FlowID, src pkt.NodeID,
+	service int, opts ...ReceiverOption) *Receiver {
+	r := &Receiver{
+		eng:     eng,
+		host:    dst,
+		flow:    f,
+		src:     src,
+		service: service,
+		ooo:     make(map[int64]int64),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	dst.Attach(f, netsim.HandlerFunc(r.handleData))
+	return r
+}
+
+// Goodput returns the in-order payload bytes delivered so far.
+func (r *Receiver) Goodput() int64 { return r.rxBytes }
+
+// RxPackets returns the number of data packets received.
+func (r *Receiver) RxPackets() int64 { return r.rxPackets }
+
+// CEMarked returns the number of received data packets carrying CE.
+func (r *Receiver) CEMarked() int64 { return r.ceCount }
+
+// Close detaches the receiver from its host.
+func (r *Receiver) Close() { r.host.Detach(r.flow) }
+
+func (r *Receiver) handleData(p *pkt.Packet) {
+	if p.IsAck {
+		return
+	}
+	r.rxPackets++
+	if p.CE {
+		r.ceCount++
+	}
+
+	payload := int64(p.Payload)
+	inOrder := p.Seq == r.rcvNxt
+	prevRcvNxt := r.rcvNxt
+	switch {
+	case p.Seq == r.rcvNxt:
+		r.rcvNxt += payload
+		r.rxBytes += payload
+		// Fill from the out-of-order store.
+		for {
+			l, ok := r.ooo[r.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt += l
+			r.rxBytes += l
+		}
+	case p.Seq > r.rcvNxt:
+		r.ooo[p.Seq] = payload
+	default:
+		// Duplicate of already-delivered data; ACK restates rcvNxt.
+	}
+
+	if r.ackEvery <= 1 || !inOrder {
+		// Per-packet echo; out-of-order or duplicate data always
+		// triggers an immediate (dup) ACK so fast retransmit works.
+		r.sendAck(r.rcvNxt, p.CE, p.SentAt)
+		r.resetPending()
+		r.ceState = p.CE
+		return
+	}
+
+	// DCTCP delayed-ACK echo machine: a CE-state change flushes an ACK
+	// covering exactly the *previous* run (up to its boundary), keeping
+	// the echoed marking fraction byte-accurate; otherwise coalesce m
+	// packets.
+	if r.pending > 0 && p.CE != r.ceState {
+		r.sendAck(prevRcvNxt, r.ceState, r.lastEcho)
+		r.resetPending()
+	}
+	r.ceState = p.CE
+	r.lastEcho = p.SentAt
+	r.pending++
+	if r.pending >= r.ackEvery {
+		r.sendAck(r.rcvNxt, r.ceState, r.lastEcho)
+		r.resetPending()
+		return
+	}
+	// Arm the flush timer so a held ACK (e.g. a flow's final odd
+	// segment) escapes without waiting for the sender's RTO.
+	if r.flushT == nil || !r.flushT.Active() {
+		r.flushT = r.eng.Schedule(r.ackDelay, func() {
+			if r.pending > 0 {
+				r.sendAck(r.rcvNxt, r.ceState, r.lastEcho)
+				r.pending = 0
+			}
+		})
+	}
+}
+
+// resetPending clears the coalescing state and any armed flush timer.
+func (r *Receiver) resetPending() {
+	r.pending = 0
+	if r.flushT != nil {
+		r.flushT.Cancel()
+	}
+}
+
+// sendAck emits a cumulative ACK up to ackNo with the given ECE echo.
+func (r *Receiver) sendAck(ackNo int64, ece bool, echo time.Duration) {
+	r.nextPktID++
+	r.host.Send(&pkt.Packet{
+		ID:      r.nextPktID,
+		Flow:    r.flow,
+		Src:     r.host.NodeID(),
+		Dst:     r.src,
+		Size:    units.AckSize,
+		IsAck:   true,
+		AckNo:   ackNo,
+		ECE:     ece,
+		Service: r.service,
+		Echo:    echo,
+	})
+}

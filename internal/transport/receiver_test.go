@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"pmsb/internal/netsim"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sched"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+// rxHarness wires a receiver on a host whose ACKs are captured rather
+// than routed, so tests can drive it with hand-crafted data packets.
+type rxHarness struct {
+	eng  *sim.Engine
+	r    *Receiver
+	acks []*pkt.Packet
+}
+
+func newRxHarness(t *testing.T) *rxHarness {
+	t.Helper()
+	eng := sim.NewEngine()
+	dst := netsim.NewHost(eng, 2)
+	h := &rxHarness{eng: eng}
+	// Capture outgoing ACKs by attaching the NIC to a recording node.
+	rec := &ackRecorder{h: h}
+	dst.AttachNIC(netsim.NewLink(eng, 10*units.Gbps, 0, rec))
+	h.r = NewReceiver(eng, dst, 1, 9, 0)
+	return h
+}
+
+type ackRecorder struct{ h *rxHarness }
+
+func (a *ackRecorder) NodeID() pkt.NodeID { return 9 }
+func (a *ackRecorder) Receive(p *pkt.Packet) {
+	a.h.acks = append(a.h.acks, p)
+}
+
+// deliver injects a data segment with the given seq/len.
+func (h *rxHarness) deliver(seq int64, payload int, ce bool) {
+	h.r.handleData(&pkt.Packet{
+		Flow:    1,
+		Seq:     seq,
+		Payload: payload,
+		Size:    payload + units.HeaderSize,
+		CE:      ce,
+		ECT:     true,
+		SentAt:  h.eng.Now(),
+	})
+	// Drain the immediate ACK transmission but not future timers (the
+	// delayed-ACK flush is triggered explicitly by tests).
+	h.eng.RunUntil(h.eng.Now() + time.Microsecond)
+}
+
+func (h *rxHarness) lastAck(t *testing.T) *pkt.Packet {
+	t.Helper()
+	if len(h.acks) == 0 {
+		t.Fatal("no ACK emitted")
+	}
+	return h.acks[len(h.acks)-1]
+}
+
+func TestReceiverInOrder(t *testing.T) {
+	h := newRxHarness(t)
+	h.deliver(0, 1000, false)
+	if got := h.lastAck(t).AckNo; got != 1000 {
+		t.Fatalf("AckNo = %d, want 1000", got)
+	}
+	h.deliver(1000, 500, false)
+	if got := h.lastAck(t).AckNo; got != 1500 {
+		t.Fatalf("AckNo = %d, want 1500", got)
+	}
+	if h.r.Goodput() != 1500 {
+		t.Fatalf("Goodput = %d", h.r.Goodput())
+	}
+}
+
+func TestReceiverOutOfOrderFill(t *testing.T) {
+	h := newRxHarness(t)
+	// Segments 2 and 3 arrive before 1: dup ACKs of 0, then a jump.
+	h.deliver(1000, 1000, false)
+	if got := h.lastAck(t).AckNo; got != 0 {
+		t.Fatalf("OOO segment acked %d, want 0 (dup ack)", got)
+	}
+	h.deliver(2000, 1000, false)
+	if got := h.lastAck(t).AckNo; got != 0 {
+		t.Fatalf("second OOO segment acked %d, want 0", got)
+	}
+	// The gap fills: cumulative ACK jumps to 3000.
+	h.deliver(0, 1000, false)
+	if got := h.lastAck(t).AckNo; got != 3000 {
+		t.Fatalf("after fill AckNo = %d, want 3000", got)
+	}
+	if h.r.Goodput() != 3000 {
+		t.Fatalf("Goodput = %d, want 3000", h.r.Goodput())
+	}
+}
+
+func TestReceiverDuplicateData(t *testing.T) {
+	h := newRxHarness(t)
+	h.deliver(0, 1000, false)
+	h.deliver(0, 1000, false) // spurious retransmission
+	if got := h.lastAck(t).AckNo; got != 1000 {
+		t.Fatalf("dup data acked %d, want 1000", got)
+	}
+	if h.r.Goodput() != 1000 {
+		t.Fatalf("Goodput double-counted: %d", h.r.Goodput())
+	}
+}
+
+func TestReceiverEchoesCEPerPacket(t *testing.T) {
+	h := newRxHarness(t)
+	h.deliver(0, 1000, true)
+	if !h.lastAck(t).ECE {
+		t.Fatal("CE not echoed as ECE")
+	}
+	h.deliver(1000, 1000, false)
+	if h.lastAck(t).ECE {
+		t.Fatal("unmarked packet echoed ECE")
+	}
+	if h.r.CEMarked() != 1 {
+		t.Fatalf("CEMarked = %d", h.r.CEMarked())
+	}
+}
+
+func TestReceiverEchoesTimestamp(t *testing.T) {
+	h := newRxHarness(t)
+	h.eng.Schedule(5*time.Microsecond, func() {})
+	h.eng.Run()
+	h.deliver(0, 1000, false)
+	ack := h.lastAck(t)
+	if ack.Echo != 5*time.Microsecond {
+		t.Fatalf("Echo = %v, want 5us", ack.Echo)
+	}
+	if !ack.IsAck || ack.Size != units.AckSize {
+		t.Fatal("ACK framing wrong")
+	}
+}
+
+func TestReceiverIgnoresAcks(t *testing.T) {
+	h := newRxHarness(t)
+	h.r.handleData(&pkt.Packet{IsAck: true, AckNo: 99})
+	h.eng.Run()
+	if len(h.acks) != 0 {
+		t.Fatal("receiver must ignore stray ACKs")
+	}
+	if h.r.RxPackets() != 0 {
+		t.Fatal("stray ACK counted as data")
+	}
+}
+
+func TestReceiverClose(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := netsim.NewHost(eng, 2)
+	r := NewReceiver(eng, dst, 7, 9, 0)
+	r.Close()
+	dst.Receive(&pkt.Packet{Flow: 7, Payload: 10})
+	if dst.UnclaimedPackets() != 1 {
+		t.Fatal("Close must detach the flow handler")
+	}
+}
+
+// delayed-ACK harness.
+func newDelayedRxHarness(t *testing.T, m int) *rxHarness {
+	t.Helper()
+	eng := sim.NewEngine()
+	dst := netsim.NewHost(eng, 2)
+	h := &rxHarness{eng: eng}
+	rec := &ackRecorder{h: h}
+	dst.AttachNIC(netsim.NewLink(eng, 10*units.Gbps, 0, rec))
+	h.r = NewReceiver(eng, dst, 1, 9, 0, WithDelayedAcks(m))
+	return h
+}
+
+func TestDelayedAckCoalesces(t *testing.T) {
+	h := newDelayedRxHarness(t, 2)
+	h.deliver(0, 1000, false)
+	if len(h.acks) != 0 {
+		t.Fatal("first packet of a pair must be held")
+	}
+	h.deliver(1000, 1000, false)
+	if len(h.acks) != 1 {
+		t.Fatalf("acks = %d, want 1 after two packets", len(h.acks))
+	}
+	if got := h.lastAck(t).AckNo; got != 2000 {
+		t.Fatalf("coalesced AckNo = %d, want 2000", got)
+	}
+}
+
+func TestDelayedAckCEStateChangeFlushes(t *testing.T) {
+	h := newDelayedRxHarness(t, 4)
+	h.deliver(0, 1000, false) // held (run of CE=false)
+	h.deliver(1000, 1000, true)
+	// The CE transition must flush an immediate ACK describing the
+	// previous (unmarked) run, so the sender's alpha stays accurate.
+	if len(h.acks) != 1 {
+		t.Fatalf("acks = %d, want 1 on CE transition", len(h.acks))
+	}
+	if h.lastAck(t).ECE {
+		t.Fatal("flushed ACK must describe the unmarked run")
+	}
+	if h.lastAck(t).AckNo != 1000 {
+		t.Fatalf("flushed AckNo = %d, want 1000", h.lastAck(t).AckNo)
+	}
+	// The marked run continues; after 4 marked packets an ACK with ECE.
+	h.deliver(2000, 1000, true)
+	h.deliver(3000, 1000, true)
+	h.deliver(4000, 1000, true)
+	if len(h.acks) != 2 {
+		t.Fatalf("acks = %d, want 2", len(h.acks))
+	}
+	if !h.lastAck(t).ECE {
+		t.Fatal("run ACK must carry ECE for the marked run")
+	}
+}
+
+func TestDelayedAckOOOStillImmediate(t *testing.T) {
+	h := newDelayedRxHarness(t, 4)
+	h.deliver(2000, 1000, false) // out of order: immediate dup ACK
+	if len(h.acks) != 1 || h.lastAck(t).AckNo != 0 {
+		t.Fatal("out-of-order data must produce an immediate dup ACK")
+	}
+}
+
+func TestDelayedAckEndToEnd(t *testing.T) {
+	// A full flow with delayed ACKs must still complete with exact
+	// goodput and roughly half the ACK traffic.
+	eng := sim.NewEngine()
+	a := netsim.NewHost(eng, 1)
+	b := netsim.NewHost(eng, 2)
+	sw := netsim.NewSwitch(eng, 100)
+	a.AttachNIC(netsim.NewLink(eng, 10*units.Gbps, time.Microsecond, sw))
+	b.AttachNIC(netsim.NewLink(eng, 10*units.Gbps, time.Microsecond, sw))
+	toA := netsim.NewPort(eng, netsim.NewLink(eng, 10*units.Gbps, time.Microsecond, a),
+		netsim.PortConfig{Sched: sched.NewFIFO()})
+	toB := netsim.NewPort(eng, netsim.NewLink(eng, 10*units.Gbps, time.Microsecond, b),
+		netsim.PortConfig{Sched: sched.NewFIFO()})
+	sw.AddPort(toA)
+	sw.AddPort(toB)
+	sw.SetRoute(func(p *pkt.Packet) int {
+		switch p.Dst {
+		case 1:
+			return 0
+		case 2:
+			return 1
+		default:
+			return -1
+		}
+	})
+	done := false
+	snd := NewSender(eng, a, 1, 2, 0, 300_000, Config{MinRTO: 5 * time.Millisecond},
+		func(*Sender) { done = true })
+	rcv := NewReceiver(eng, b, 1, 1, 0, WithDelayedAcks(2))
+	snd.Start()
+	eng.RunUntil(time.Second)
+	if !done {
+		t.Fatal("delayed-ACK flow did not complete")
+	}
+	if rcv.Goodput() != 300_000 {
+		t.Fatalf("goodput = %d", rcv.Goodput())
+	}
+}
+
+func TestDelayedAckFlushTimer(t *testing.T) {
+	h := newDelayedRxHarness(t, 2)
+	h.deliver(0, 1000, false) // held
+	if len(h.acks) != 0 {
+		t.Fatal("ack should be held")
+	}
+	// The 500us flush timer releases it without more data.
+	h.eng.RunUntil(h.eng.Now() + time.Millisecond)
+	if len(h.acks) != 1 || h.lastAck(t).AckNo != 1000 {
+		t.Fatalf("flush timer did not release the held ACK: %d acks", len(h.acks))
+	}
+	// No duplicate flush afterwards.
+	h.eng.RunUntil(h.eng.Now() + 2*time.Millisecond)
+	if len(h.acks) != 1 {
+		t.Fatal("spurious extra flush")
+	}
+}

@@ -1,0 +1,403 @@
+package transport
+
+import (
+	"time"
+
+	"pmsb/internal/netsim"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+// Sender is a DCTCP sender endpoint. Create it with NewSender (or the
+// Flow convenience wrapper), then call Start.
+type Sender struct {
+	eng     *sim.Engine
+	host    *netsim.Host
+	flow    pkt.FlowID
+	dst     pkt.NodeID
+	service int
+	size    int64 // total bytes to send; 0 = long-lived (unbounded)
+	cfg     Config
+
+	// Congestion state. cwnd and ssthresh are in segments.
+	cwnd     float64
+	ssthresh float64
+	alpha    float64
+
+	// DCTCP observation window: when sndUna passes alphaSeq, alpha is
+	// refreshed from the marked/acked byte counts.
+	alphaSeq    int64
+	bytesAcked  int64
+	bytesMarked int64
+	// cutSeq implements "at most one window reduction per RTT".
+	cutSeq int64
+
+	sndNxt, sndUna int64
+	dupAcks        int
+	recovering     bool
+	recoverSeq     int64
+
+	rtoTimer   *sim.Timer
+	rtoBackoff int
+	srtt       time.Duration
+
+	// Pacing state for rate-limited senders.
+	nextSendAt time.Duration
+	paceTimer  *sim.Timer
+
+	lastRTT time.Duration
+	minRTT  time.Duration
+
+	started, finished bool
+	startedAt         time.Duration
+	fct               time.Duration
+	onComplete        func(s *Sender)
+
+	nextPktID uint64
+
+	// Stats.
+	retransmits   int64
+	marksSeen     int64
+	marksAccepted int64
+	rttSamples    []time.Duration
+	recordRTT     bool
+}
+
+// NewSender creates a DCTCP sender at host src sending size bytes (0 for
+// a long-lived flow) to dst under flow id f, classified into the given
+// service. onComplete (may be nil) fires when the last byte is acked.
+func NewSender(eng *sim.Engine, src *netsim.Host, f pkt.FlowID, dst pkt.NodeID,
+	service int, size int64, cfg Config, onComplete func(*Sender)) *Sender {
+	s := &Sender{
+		eng:        eng,
+		host:       src,
+		flow:       f,
+		dst:        dst,
+		service:    service,
+		size:       size,
+		cfg:        cfg.withDefaults(),
+		onComplete: onComplete,
+	}
+	s.cwnd = float64(s.cfg.InitWindow)
+	s.ssthresh = float64(s.cfg.MaxWindow)
+	src.Attach(f, netsim.HandlerFunc(s.handleAck))
+	return s
+}
+
+// Start begins transmission at the current virtual time.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.startedAt = s.eng.Now()
+	s.alphaSeq = 0
+	s.trySend()
+}
+
+// Flow returns the sender's flow ID.
+func (s *Sender) Flow() pkt.FlowID { return s.flow }
+
+// Finished reports whether the flow completed (all bytes acked).
+func (s *Sender) Finished() bool { return s.finished }
+
+// FCT returns the flow completion time (valid once Finished).
+func (s *Sender) FCT() time.Duration { return s.fct }
+
+// Size returns the flow size in bytes (0 for long-lived flows).
+func (s *Sender) Size() int64 { return s.size }
+
+// Service returns the flow's service class.
+func (s *Sender) Service() int { return s.service }
+
+// Alpha returns the current DCTCP congestion estimate.
+func (s *Sender) Alpha() float64 { return s.alpha }
+
+// Cwnd returns the congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// LastRTT returns the most recent RTT sample.
+func (s *Sender) LastRTT() time.Duration { return s.lastRTT }
+
+// MinRTT returns the smallest RTT sample seen.
+func (s *Sender) MinRTT() time.Duration { return s.minRTT }
+
+// Retransmits returns the number of retransmitted segments.
+func (s *Sender) Retransmits() int64 { return s.retransmits }
+
+// MarksSeen returns how many marked ACKs arrived; MarksAccepted how many
+// the filter let through.
+func (s *Sender) MarksSeen() int64 { return s.marksSeen }
+
+// MarksAccepted returns the number of marks the sender reacted to.
+func (s *Sender) MarksAccepted() int64 { return s.marksAccepted }
+
+// RecordRTT makes the sender keep every RTT sample (for CDF plots).
+func (s *Sender) RecordRTT() { s.recordRTT = true }
+
+// RTTSamples returns the recorded samples (RecordRTT must be on).
+func (s *Sender) RTTSamples() []time.Duration { return s.rttSamples }
+
+// AckedBytes returns the cumulative acknowledged bytes.
+func (s *Sender) AckedBytes() int64 { return s.sndUna }
+
+// inflight returns the unacknowledged bytes.
+func (s *Sender) inflight() int64 { return s.sndNxt - s.sndUna }
+
+// trySend transmits as many new segments as the window (and pacing
+// rate) permit.
+func (s *Sender) trySend() {
+	if !s.started || s.finished {
+		return
+	}
+	mss := int64(s.cfg.MSS)
+	for {
+		if s.size > 0 && s.sndNxt >= s.size {
+			break
+		}
+		wnd := int64(s.cwnd * float64(mss))
+		if s.inflight()+mss > wnd {
+			break
+		}
+		if s.cfg.RateLimit > 0 {
+			now := s.eng.Now()
+			if now < s.nextSendAt {
+				s.schedulePace()
+				break
+			}
+		}
+		s.sendSegment(s.sndNxt, false)
+		s.sndNxt += s.segmentLen(s.sndNxt)
+	}
+	s.armRTO()
+}
+
+// segmentLen returns the payload length of the segment starting at seq.
+func (s *Sender) segmentLen(seq int64) int64 {
+	mss := int64(s.cfg.MSS)
+	if s.size > 0 && s.size-seq < mss {
+		return s.size - seq
+	}
+	return mss
+}
+
+// sendSegment emits the segment starting at seq (new data or
+// retransmission).
+func (s *Sender) sendSegment(seq int64, retx bool) {
+	payload := s.segmentLen(seq)
+	s.nextPktID++
+	p := &pkt.Packet{
+		ID:      s.nextPktID,
+		Flow:    s.flow,
+		Src:     s.host.NodeID(),
+		Dst:     s.dst,
+		Size:    int(payload) + units.HeaderSize,
+		Payload: int(payload),
+		Seq:     seq,
+		ECT:     !s.cfg.DisableECN,
+		Service: s.service,
+		SentAt:  s.eng.Now(),
+	}
+	if retx {
+		s.retransmits++
+	}
+	if s.cfg.RateLimit > 0 {
+		now := s.eng.Now()
+		if s.nextSendAt < now {
+			s.nextSendAt = now
+		}
+		s.nextSendAt += units.Serialization(p.Size, s.cfg.RateLimit)
+	}
+	s.host.Send(p)
+}
+
+// schedulePace arms a timer to resume sending when pacing allows.
+func (s *Sender) schedulePace() {
+	if s.paceTimer != nil && s.paceTimer.Active() {
+		return
+	}
+	delay := s.nextSendAt - s.eng.Now()
+	s.paceTimer = s.eng.Schedule(delay, s.trySend)
+}
+
+// handleAck processes an incoming (cumulative) acknowledgement.
+func (s *Sender) handleAck(p *pkt.Packet) {
+	if !p.IsAck || s.finished {
+		return
+	}
+	now := s.eng.Now()
+	// Echo carries the data packet's SentAt (0 is a valid send time at
+	// the very start of the simulation).
+	if rtt := now - p.Echo; rtt >= 0 {
+		s.lastRTT = rtt
+		if s.minRTT == 0 || rtt < s.minRTT {
+			s.minRTT = rtt
+		}
+		if s.srtt == 0 {
+			s.srtt = rtt
+		} else {
+			s.srtt = (7*s.srtt + rtt) / 8
+		}
+		if s.recordRTT {
+			s.rttSamples = append(s.rttSamples, rtt)
+		}
+	}
+
+	marked := p.ECE
+	if marked {
+		s.marksSeen++
+	}
+	// Selective blindness hook: PMSB(e) may veto the congestion signal.
+	accepted := marked
+	if s.cfg.Filter != nil {
+		accepted = s.cfg.Filter.Accept(s.lastRTT, marked)
+	}
+	if accepted {
+		s.marksAccepted++
+	}
+
+	switch {
+	case p.AckNo > s.sndUna:
+		s.onNewAck(p.AckNo, accepted)
+	case p.AckNo == s.sndUna:
+		s.onDupAck()
+	}
+	if s.finished {
+		return
+	}
+	s.trySend()
+}
+
+// onNewAck advances the window for n newly acknowledged bytes.
+func (s *Sender) onNewAck(ackNo int64, accepted bool) {
+	n := ackNo - s.sndUna
+	s.sndUna = ackNo
+	s.dupAcks = 0
+	s.rtoBackoff = 0
+
+	// DCTCP byte accounting for the alpha estimator.
+	s.bytesAcked += n
+	if accepted {
+		s.bytesMarked += n
+	}
+	if s.sndUna >= s.alphaSeq {
+		if s.bytesAcked > 0 {
+			f := float64(s.bytesMarked) / float64(s.bytesAcked)
+			s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G*f
+		}
+		s.bytesAcked, s.bytesMarked = 0, 0
+		s.alphaSeq = s.sndNxt
+	}
+
+	if s.recovering && s.sndUna >= s.recoverSeq {
+		s.recovering = false
+	}
+
+	// Window growth: slow start adds one segment per acked segment;
+	// congestion avoidance adds 1/cwnd per acked segment.
+	segs := float64(n) / float64(s.cfg.MSS)
+	if s.cwnd < s.ssthresh {
+		s.cwnd += segs
+	} else {
+		s.cwnd += segs / s.cwnd
+	}
+	if s.cwnd > float64(s.cfg.MaxWindow) {
+		s.cwnd = float64(s.cfg.MaxWindow)
+	}
+
+	// DCTCP cut: at most once per window of data. With a deadline the
+	// cut uses D2TCP's gamma correction alpha^d (d2tcp.go).
+	if accepted && s.sndUna > s.cutSeq {
+		gamma := s.alpha
+		if s.cfg.Deadline > 0 {
+			gamma = d2tcpGamma(s.alpha, s.urgency())
+		}
+		s.cwnd = s.cwnd * (1 - gamma/2)
+		if s.cwnd < 1 {
+			s.cwnd = 1
+		}
+		s.ssthresh = s.cwnd
+		s.cutSeq = s.sndNxt
+	}
+
+	if s.size > 0 && s.sndUna >= s.size {
+		s.complete()
+		return
+	}
+	s.armRTO()
+}
+
+// onDupAck counts duplicate ACKs and fast-retransmits on the third.
+func (s *Sender) onDupAck() {
+	if s.inflight() == 0 {
+		return
+	}
+	s.dupAcks++
+	if s.dupAcks == 3 && !s.recovering {
+		s.recovering = true
+		s.recoverSeq = s.sndNxt
+		s.ssthresh = s.cwnd / 2
+		if s.ssthresh < 2 {
+			s.ssthresh = 2
+		}
+		s.cwnd = s.ssthresh
+		s.sendSegment(s.sndUna, true)
+	}
+}
+
+// armRTO (re)schedules the retransmission timer while data is in flight.
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	if s.inflight() == 0 || s.finished {
+		return
+	}
+	rto := s.cfg.MinRTO
+	if est := 2 * s.srtt; est > rto {
+		rto = est
+	}
+	rto <<= s.rtoBackoff
+	s.rtoTimer = s.eng.Schedule(rto, s.onRTO)
+}
+
+// onRTO handles a retransmission timeout: go-back-N restart from sndUna
+// with a window of one segment.
+func (s *Sender) onRTO() {
+	if s.finished || s.inflight() == 0 {
+		return
+	}
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = 1
+	s.recovering = false
+	s.dupAcks = 0
+	s.sndNxt = s.sndUna // go-back-N: resend everything outstanding
+	if s.rtoBackoff < 6 {
+		s.rtoBackoff++
+	}
+	s.sendSegment(s.sndUna, true)
+	s.sndNxt += s.segmentLen(s.sndUna)
+	s.armRTO()
+}
+
+// complete finalizes the flow. The sender stays attached to its host so
+// ACKs still in flight land on a finished (and silent) endpoint instead
+// of counting as unclaimed traffic.
+func (s *Sender) complete() {
+	s.finished = true
+	s.fct = s.eng.Now() - s.startedAt
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	if s.paceTimer != nil {
+		s.paceTimer.Cancel()
+	}
+	if s.onComplete != nil {
+		s.onComplete(s)
+	}
+}

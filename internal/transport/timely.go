@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"time"
+
+	"pmsb/internal/netsim"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+// TIMELY-style RTT-gradient rate control (Mittal et al., SIGCOMM 2015 —
+// the paper's reference [10], cited as evidence that datacenter RTTs
+// can be measured precisely enough for PMSB(e)'s accept threshold).
+// TIMELY needs no switch support at all: the sender paces packets and
+// adjusts its rate from the RTT and its gradient:
+//
+//   - rtt < TLow:   additive increase  (R += delta)
+//   - rtt > THigh:  multiplicative cut (R *= 1 - beta*(1 - THigh/rtt))
+//   - otherwise:    gradient-based — increase while RTTs fall or hold
+//     flat, back off proportionally while they rise.
+type TimelyConfig struct {
+	// StartRate is the initial rate (default 1 Gbps).
+	StartRate units.Rate
+	// MinRate floors the rate (default 10 Mbps); MaxRate caps it
+	// (default 10 Gbps).
+	MinRate, MaxRate units.Rate
+	// TLow / THigh bound the gradient region (defaults 50us / 500us).
+	TLow, THigh time.Duration
+	// Delta is the additive increase per decision (default 10 Mbps).
+	Delta units.Rate
+	// Beta is the multiplicative decrease factor (default 0.8).
+	Beta float64
+	// EWMA smooths the RTT gradient (default 0.875 history weight).
+	EWMA float64
+	// PacketSize is the wire size of generated packets (default MTU).
+	PacketSize int
+}
+
+func (c TimelyConfig) withDefaults() TimelyConfig {
+	if c.StartRate <= 0 {
+		c.StartRate = 1 * units.Gbps
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 10 * units.Mbps
+	}
+	if c.MaxRate <= 0 {
+		c.MaxRate = 10 * units.Gbps
+	}
+	if c.TLow <= 0 {
+		c.TLow = 50 * time.Microsecond
+	}
+	if c.THigh <= 0 {
+		c.THigh = 500 * time.Microsecond
+	}
+	if c.Delta <= 0 {
+		c.Delta = 10 * units.Mbps
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.8
+	}
+	if c.EWMA <= 0 || c.EWMA >= 1 {
+		c.EWMA = 0.875
+	}
+	if c.PacketSize <= 0 {
+		c.PacketSize = units.MTU
+	}
+	return c
+}
+
+// TimelySender is a paced, RTT-gradient-controlled source.
+type TimelySender struct {
+	eng     *sim.Engine
+	host    *netsim.Host
+	flow    pkt.FlowID
+	dst     pkt.NodeID
+	service int
+	cfg     TimelyConfig
+
+	rate     float64 // bits/sec
+	prevRTT  time.Duration
+	gradient float64 // smoothed normalized gradient
+	minRTT   time.Duration
+
+	running   bool
+	sent      int64
+	decisions int64
+
+	nextPktID uint64
+	sendTimer *sim.Timer
+}
+
+// NewTimelySender creates a TIMELY source at src targeting dst.
+func NewTimelySender(eng *sim.Engine, src *netsim.Host, f pkt.FlowID, dst pkt.NodeID,
+	service int, cfg TimelyConfig) *TimelySender {
+	s := &TimelySender{
+		eng:     eng,
+		host:    src,
+		flow:    f,
+		dst:     dst,
+		service: service,
+		cfg:     cfg.withDefaults(),
+	}
+	s.rate = float64(s.cfg.StartRate)
+	src.Attach(f, netsim.HandlerFunc(s.handleAck))
+	return s
+}
+
+// Start begins paced transmission.
+func (s *TimelySender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.sendNext()
+}
+
+// Stop halts transmission.
+func (s *TimelySender) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	if s.sendTimer != nil {
+		s.sendTimer.Cancel()
+	}
+	s.host.Detach(s.flow)
+}
+
+// Rate returns the current sending rate.
+func (s *TimelySender) Rate() units.Rate { return units.Rate(s.rate) }
+
+// SentBytes returns the bytes transmitted.
+func (s *TimelySender) SentBytes() int64 { return s.sent }
+
+// Decisions counts rate updates (one per RTT sample).
+func (s *TimelySender) Decisions() int64 { return s.decisions }
+
+// MinRTT returns the lowest RTT observed.
+func (s *TimelySender) MinRTT() time.Duration { return s.minRTT }
+
+func (s *TimelySender) sendNext() {
+	if !s.running {
+		return
+	}
+	s.nextPktID++
+	p := &pkt.Packet{
+		ID:      s.nextPktID,
+		Flow:    s.flow,
+		Src:     s.host.NodeID(),
+		Dst:     s.dst,
+		Size:    s.cfg.PacketSize,
+		Payload: s.cfg.PacketSize - units.HeaderSize,
+		Service: s.service,
+		SentAt:  s.eng.Now(),
+	}
+	s.host.Send(p)
+	s.sent += int64(p.Size)
+	gap := units.Serialization(p.Size, units.Rate(s.rate))
+	s.sendTimer = s.eng.Schedule(gap, s.sendNext)
+}
+
+// handleAck applies the TIMELY decision for each RTT sample.
+func (s *TimelySender) handleAck(p *pkt.Packet) {
+	if !p.IsAck || !s.running {
+		return
+	}
+	rtt := s.eng.Now() - p.Echo
+	if rtt <= 0 {
+		return
+	}
+	if s.minRTT == 0 || rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+	s.decisions++
+
+	if s.prevRTT > 0 && s.minRTT > 0 {
+		sample := float64(rtt-s.prevRTT) / float64(s.minRTT)
+		s.gradient = s.cfg.EWMA*s.gradient + (1-s.cfg.EWMA)*sample
+	}
+	s.prevRTT = rtt
+
+	switch {
+	case rtt < s.cfg.TLow:
+		s.rate += float64(s.cfg.Delta)
+	case rtt > s.cfg.THigh:
+		cut := 1 - s.cfg.Beta*(1-float64(s.cfg.THigh)/float64(rtt))
+		s.rate *= cut
+	case s.gradient <= 0:
+		s.rate += float64(s.cfg.Delta)
+	default:
+		s.rate *= 1 - s.cfg.Beta*s.gradient
+	}
+	if min := float64(s.cfg.MinRate); s.rate < min {
+		s.rate = min
+	}
+	if max := float64(s.cfg.MaxRate); s.rate > max {
+		s.rate = max
+	}
+}
+
+// TimelyReceiver echoes every data packet's timestamp back so the
+// sender can sample RTTs; it performs no reliability.
+type TimelyReceiver struct {
+	eng       *sim.Engine
+	host      *netsim.Host
+	flow      pkt.FlowID
+	src       pkt.NodeID
+	service   int
+	rxBytes   int64
+	nextPktID uint64
+}
+
+// NewTimelyReceiver attaches a receiver for flow f at dst.
+func NewTimelyReceiver(eng *sim.Engine, dst *netsim.Host, f pkt.FlowID, src pkt.NodeID, service int) *TimelyReceiver {
+	r := &TimelyReceiver{eng: eng, host: dst, flow: f, src: src, service: service}
+	dst.Attach(f, netsim.HandlerFunc(r.handleData))
+	return r
+}
+
+// RxBytes returns the delivered payload bytes.
+func (r *TimelyReceiver) RxBytes() int64 { return r.rxBytes }
+
+// Close detaches the receiver.
+func (r *TimelyReceiver) Close() { r.host.Detach(r.flow) }
+
+func (r *TimelyReceiver) handleData(p *pkt.Packet) {
+	if p.IsAck {
+		return
+	}
+	r.rxBytes += int64(p.Payload)
+	r.nextPktID++
+	r.host.Send(&pkt.Packet{
+		ID:      r.nextPktID,
+		Flow:    r.flow,
+		Src:     r.host.NodeID(),
+		Dst:     r.src,
+		Size:    units.AckSize,
+		IsAck:   true,
+		Service: r.service,
+		Echo:    p.SentAt,
+	})
+}

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"pmsb/internal/units"
+)
+
+func TestTimelyConvergesWithoutECN(t *testing.T) {
+	// TIMELY needs no marking at all: a 1G bottleneck with a plain
+	// drop-tail buffer. The delay-based control must hold throughput
+	// near the bottleneck while keeping RTT (queue) bounded.
+	n := newBottleneckNet(t, nil, nil, units.Packets(500), 1*units.Gbps)
+	s := NewTimelySender(n.eng, n.a, 1, n.b.NodeID(), 0, TimelyConfig{
+		StartRate: 5 * units.Gbps,
+		TLow:      30 * time.Microsecond,
+		THigh:     200 * time.Microsecond,
+	})
+	r := NewTimelyReceiver(n.eng, n.b, 1, n.a.NodeID(), 0)
+	s.Start()
+	n.eng.RunUntil(100 * time.Millisecond)
+	s.Stop()
+
+	rate := units.RateOf(r.RxBytes(), 100*time.Millisecond)
+	if rate < 600*units.Mbps || rate > 1100*units.Mbps {
+		t.Fatalf("TIMELY delivered %v, want near 1Gbps", rate)
+	}
+	if n.toB.DropPackets() > 20 {
+		t.Fatalf("TIMELY should avoid sustained overflow, dropped %d", n.toB.DropPackets())
+	}
+	if s.Decisions() == 0 {
+		t.Fatal("no rate decisions recorded")
+	}
+}
+
+func TestTimelyBacksOffAboveTHigh(t *testing.T) {
+	// Force a high starting rate against a slow link: RTT climbs past
+	// THigh and the rate must come down well below the start.
+	n := newBottleneckNet(t, nil, nil, units.Packets(2000), 100*units.Mbps)
+	s := NewTimelySender(n.eng, n.a, 1, n.b.NodeID(), 0, TimelyConfig{
+		StartRate: 10 * units.Gbps,
+		THigh:     100 * time.Microsecond,
+	})
+	NewTimelyReceiver(n.eng, n.b, 1, n.a.NodeID(), 0)
+	s.Start()
+	n.eng.RunUntil(50 * time.Millisecond)
+	s.Stop()
+	if s.Rate() > units.Gbps {
+		t.Fatalf("rate %v did not back off toward the 100Mbps bottleneck", s.Rate())
+	}
+}
+
+func TestTimelyTwoFlowsCoexist(t *testing.T) {
+	n := newBottleneckNet(t, nil, nil, units.Packets(500), 1*units.Gbps)
+	c := attachExtraSender(n)
+	s1 := NewTimelySender(n.eng, n.a, 1, n.b.NodeID(), 0, TimelyConfig{})
+	r1 := NewTimelyReceiver(n.eng, n.b, 1, n.a.NodeID(), 0)
+	s2 := NewTimelySender(n.eng, c, 2, n.b.NodeID(), 0, TimelyConfig{})
+	r2 := NewTimelyReceiver(n.eng, n.b, 2, c.NodeID(), 0)
+	s1.Start()
+	s2.Start()
+	n.eng.RunUntil(150 * time.Millisecond)
+	s1.Stop()
+	s2.Stop()
+
+	g1, g2 := float64(r1.RxBytes()), float64(r2.RxBytes())
+	share := g1 / (g1 + g2)
+	// TIMELY's fairness is weaker than window-based schemes; accept a
+	// broad band but demand real coexistence.
+	if share < 0.2 || share > 0.8 {
+		t.Fatalf("flow 1 share = %.3f, want coexistence", share)
+	}
+}
+
+func TestTimelyStopHaltsEverything(t *testing.T) {
+	n := newTestNet(t, nil, nil, 0)
+	s := NewTimelySender(n.eng, n.a, 1, n.b.NodeID(), 0, TimelyConfig{})
+	NewTimelyReceiver(n.eng, n.b, 1, n.a.NodeID(), 0)
+	s.Start()
+	s.Start()
+	n.eng.RunUntil(time.Millisecond)
+	s.Stop()
+	s.Stop()
+	sent := s.SentBytes()
+	n.eng.RunUntil(5 * time.Millisecond)
+	if s.SentBytes() != sent {
+		t.Fatal("sender kept transmitting after Stop")
+	}
+}

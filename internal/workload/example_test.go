@@ -1,0 +1,30 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"pmsb/internal/units"
+	"pmsb/internal/workload"
+)
+
+// ExamplePoisson builds the paper's large-scale traffic: web-search
+// flow sizes arriving as a Poisson process at 50% load over 48 hosts.
+func ExamplePoisson() {
+	flows := workload.Poisson(workload.PoissonConfig{
+		Load:     0.5,
+		LinkRate: 10 * units.Gbps,
+		Hosts:    48,
+		Dist:     workload.WebSearch(),
+		Services: 8,
+		NumFlows: 3,
+		Seed:     1,
+	})
+	for _, f := range flows {
+		fmt.Printf("t=%v %d->%d %s (%dB) service %d\n",
+			f.Start.Round(1000), f.Src, f.Dst, workload.Classify(f.Size), f.Size, f.Service)
+	}
+	// Output:
+	// t=33µs 15->19 small (56652B) service 0
+	// t=35µs 6->16 small (10093B) service 1
+	// t=45µs 36->3 medium (2344467B) service 2
+}

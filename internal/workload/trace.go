@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// ReadTrace parses a flow trace from CSV so users can replay their own
+// workloads instead of the synthetic generators. Expected columns:
+//
+//	start_us, src, dst, size_bytes, service
+//
+// A header row (any row whose first field is not a number) is skipped.
+// Lines must satisfy src != dst, size >= 1 and non-decreasing start
+// times are NOT required (the trace is returned as given; schedule it
+// with sim.ScheduleAt which tolerates any order).
+func ReadTrace(r io.Reader) ([]FlowSpec, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	var out []FlowSpec
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("trace line %d: want 5 columns, got %d", line, len(rec))
+		}
+		startUS, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("trace line %d: bad start %q", line, rec[0])
+		}
+		src, err1 := strconv.Atoi(rec[1])
+		dst, err2 := strconv.Atoi(rec[2])
+		size, err3 := strconv.ParseInt(rec[3], 10, 64)
+		service, err4 := strconv.Atoi(rec[4])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("trace line %d: malformed fields", line)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("trace line %d: src == dst", line)
+		}
+		if size < 1 {
+			return nil, fmt.Errorf("trace line %d: size %d < 1", line, size)
+		}
+		if service < 0 {
+			return nil, fmt.Errorf("trace line %d: negative service", line)
+		}
+		out = append(out, FlowSpec{
+			Start:   time.Duration(startUS * float64(time.Microsecond)),
+			Src:     src,
+			Dst:     dst,
+			Size:    size,
+			Service: service,
+		})
+	}
+	return out, nil
+}
+
+// WriteTrace renders flows in the ReadTrace CSV format (with header).
+func WriteTrace(w io.Writer, flows []FlowSpec) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start_us", "src", "dst", "size_bytes", "service"}); err != nil {
+		return fmt.Errorf("write trace header: %w", err)
+	}
+	for _, f := range flows {
+		rec := []string{
+			strconv.FormatFloat(float64(f.Start)/float64(time.Microsecond), 'f', 3, 64),
+			strconv.Itoa(f.Src),
+			strconv.Itoa(f.Dst),
+			strconv.FormatInt(f.Size, 10),
+			strconv.Itoa(f.Service),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write trace row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pmsb/internal/units"
+)
+
+func TestReadTrace(t *testing.T) {
+	in := `start_us,src,dst,size_bytes,service
+0.000,0,1,1000,0
+12.500,3,7,250000,5
+`
+	flows, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if flows[0].Start != 0 || flows[0].Src != 0 || flows[0].Dst != 1 || flows[0].Size != 1000 {
+		t.Fatalf("flow 0 = %+v", flows[0])
+	}
+	if flows[1].Start != 12500*time.Nanosecond || flows[1].Service != 5 {
+		t.Fatalf("flow 1 = %+v", flows[1])
+	}
+}
+
+func TestReadTraceNoHeader(t *testing.T) {
+	flows, err := ReadTrace(strings.NewReader("5.0,1,2,100,0\n"))
+	if err != nil || len(flows) != 1 {
+		t.Fatalf("headerless trace: %v, %d flows", err, len(flows))
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"1.0,1,2,100\n",              // 4 columns
+		"1.0,2,2,100,0\n",            // src == dst
+		"1.0,1,2,0,0\n",              // zero size
+		"1.0,1,2,100,-1\n",           // negative service
+		"1.0,a,2,100,0\n",            // bad src
+		"x,1,2,100,0\nx,1,2,100,0\n", // bad start beyond header
+	}
+	for _, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadTrace(%q) should fail", in)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := Poisson(PoissonConfig{
+		Load: 0.5, LinkRate: 10 * units.Gbps, Hosts: 8,
+		Dist: WebSearch(), Services: 4, NumFlows: 50, Seed: 9,
+	})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost flows: %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Src != orig[i].Src || got[i].Dst != orig[i].Dst ||
+			got[i].Size != orig[i].Size || got[i].Service != orig[i].Service {
+			t.Fatalf("flow %d mismatch: %+v vs %+v", i, got[i], orig[i])
+		}
+		// Start times survive to sub-microsecond rounding.
+		diff := got[i].Start - orig[i].Start
+		if diff < -time.Microsecond || diff > time.Microsecond {
+			t.Fatalf("flow %d start drift %v", i, diff)
+		}
+	}
+}
