@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench reproduce quick-reproduce examples clean
+.PHONY: all build vet test test-short bench ci reproduce quick-reproduce examples clean
 
 all: build vet test
+
+# Everything .github/workflows/ci.yml runs, in the same order.
+ci:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -race -run TestJobsDeterminism -count=1 ./cmd/pmsbsim
 
 build:
 	$(GO) build ./...

@@ -82,6 +82,40 @@ func BenchmarkAnalysisValidation(b *testing.B) {
 }
 func BenchmarkAblationAverage(b *testing.B) { benchExperiment(b, "ablation-average") }
 
+// --- Parallel runner -----------------------------------------------------
+
+// benchRunMany measures the experiment runner end to end on a fixed
+// sample of fast experiments at a given worker count. Comparing the
+// Jobs1 and JobsN variants shows the fan-out speedup on multi-core
+// machines (and its absence on single-core ones); the output payload is
+// identical in both, which TestJobsDeterminism asserts.
+func benchRunMany(b *testing.B, jobs int) {
+	b.Helper()
+	var specs []experiment.Spec
+	for _, id := range []string{"table1", "fig5", "fig4", "incast", "ablation-average"} {
+		spec, err := experiment.Lookup(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	opt := experiment.Options{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, manifest, err := experiment.RunMany(specs, opt, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(specs) || manifest.TotalEvents == 0 {
+			b.Fatal("incomplete run")
+		}
+	}
+}
+
+func BenchmarkRunManyJobs1(b *testing.B) { benchRunMany(b, 1) }
+func BenchmarkRunManyJobsN(b *testing.B) { benchRunMany(b, 0) } // NumCPU workers
+
 // --- Engine and algorithm micro-benchmarks -------------------------------
 
 // BenchmarkPMSBDecision measures the raw per-packet cost of Algorithm 1.

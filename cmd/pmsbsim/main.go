@@ -5,21 +5,33 @@
 //	pmsbsim -list                      # enumerate experiments
 //	pmsbsim -experiment fig9           # run one experiment, print TSV
 //	pmsbsim -all                       # run everything
+//	pmsbsim -all -quick -jobs 8        # fan experiments across 8 workers
 //	pmsbsim -experiment fct-dwrr -quick -seed 7
 //	pmsbsim -experiment fig11 -series  # include plot-ready time series
 //	pmsbsim -experiment fig9 -format json -out fig9.json
 //
 // TSV output carries '#'-prefixed notes with the paper-shape
-// observations; JSON output is the full structured result.
+// observations and ends with a '# summary' manifest block (per-
+// experiment wall time and event counts; suppress with -summary=false).
+// JSON output is the full structured result: a bare object for a single
+// experiment, a JSON array when more than one experiment runs.
+//
+// Experiments are independent simulations, so -jobs N runs them (and,
+// within a randomized sweep, the -repeats seeds) in parallel; the
+// output payload is byte-identical at any job count because every
+// engine is deterministic and results are reassembled in registration
+// order. Only the wall times in the summary block vary.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
-	"time"
 
 	"pmsb/internal/experiment"
 )
@@ -29,13 +41,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pmsbsim:", err)
 		os.Exit(1)
 	}
-}
-
-type options struct {
-	opt    experiment.Options
-	series bool
-	format string
-	out    io.Writer
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -50,8 +55,15 @@ func run(args []string, stdout io.Writer) error {
 		series  = fs.Bool("series", false, "include plot-ready time series in the output")
 		format  = fs.String("format", "tsv", "output format: tsv or json")
 		out     = fs.String("out", "", "write output to this file instead of stdout")
+		jobs    = fs.Int("jobs", runtime.NumCPU(), "max experiments simulated in parallel (payload is identical at any value)")
+		summary = fs.Bool("summary", true, "append the run manifest as a trailing '# summary' block (tsv only)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h/-help is a successful invocation: the FlagSet already
+			// printed the usage text.
+			return nil
+		}
 		return err
 	}
 	if *format != "tsv" && *format != "json" {
@@ -68,12 +80,7 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 
-	o := options{
-		opt:    experiment.Options{Quick: *quick, Seed: *seed, Repeats: *repeats},
-		series: *series,
-		format: *format,
-		out:    w,
-	}
+	var specs []experiment.Spec
 	switch {
 	case *list:
 		for _, s := range experiment.List() {
@@ -81,48 +88,66 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	case *all:
-		for _, s := range experiment.List() {
-			if err := runOne(s, o); err != nil {
-				return err
-			}
-		}
-		return nil
+		specs = experiment.List()
 	case *id != "":
 		for _, one := range strings.Split(*id, ",") {
 			s, err := experiment.Lookup(strings.TrimSpace(one))
 			if err != nil {
 				return err
 			}
-			if err := runOne(s, o); err != nil {
-				return err
-			}
+			specs = append(specs, s)
 		}
-		return nil
 	default:
 		fs.Usage()
 		return fmt.Errorf("one of -list, -all or -experiment is required")
 	}
+
+	opt := experiment.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	// On failure results hold the completed prefix (everything before
+	// the earliest failing experiment), which is still printed — the
+	// same partial output a serial run would have produced.
+	results, manifest, runErr := experiment.RunMany(specs, opt, *jobs)
+	if !*series {
+		for _, res := range results {
+			res.Series = nil
+		}
+	}
+	switch *format {
+	case "json":
+		if err := writeJSON(w, results, len(specs) > 1); err != nil {
+			return err
+		}
+	default:
+		for _, res := range results {
+			fmt.Fprint(w, res.TSV())
+			fmt.Fprintln(w)
+		}
+		if runErr == nil && *summary {
+			fmt.Fprint(w, manifest.Summary())
+		}
+	}
+	return runErr
 }
 
-func runOne(s experiment.Spec, o options) error {
-	start := time.Now()
-	res, err := s.Run(o.opt)
-	if err != nil {
-		return fmt.Errorf("%s: %w", s.ID, err)
-	}
-	if !o.series {
-		res.Series = nil
-	}
-	switch o.format {
-	case "json":
-		body, err := res.JSON()
+// writeJSON emits one bare object for a single requested experiment
+// (the historical format) and a single JSON array when several run, so
+// multi-experiment output stays parseable by standard decoders.
+func writeJSON(w io.Writer, results []*experiment.Result, array bool) error {
+	if !array {
+		if len(results) == 0 {
+			return nil
+		}
+		body, err := results[0].JSON()
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(o.out, body)
-	default:
-		fmt.Fprint(o.out, res.TSV())
-		fmt.Fprintf(o.out, "# wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(w, body)
+		return nil
 	}
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal results: %w", err)
+	}
+	fmt.Fprintln(w, string(b))
 	return nil
 }

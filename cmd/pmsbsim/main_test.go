@@ -128,3 +128,78 @@ func TestRunMultipleExperiments(t *testing.T) {
 		t.Fatalf("multi-experiment output incomplete:\n%s", out)
 	}
 }
+
+// -h is a request for the usage text, not a misuse: run must report
+// success so shells see exit status 0.
+func TestRunHelpSucceeds(t *testing.T) {
+	if _, err := capture(t, "-h"); err != nil {
+		t.Fatalf("-h returned error: %v", err)
+	}
+	if _, err := capture(t, "-help"); err != nil {
+		t.Fatalf("-help returned error: %v", err)
+	}
+}
+
+// More than one experiment in JSON mode must produce a single parseable
+// document (an array), not concatenated bare objects.
+func TestRunJSONArrayForMultipleExperiments(t *testing.T) {
+	out, err := capture(t, "-experiment", "table1,fig5", "-quick", "-format", "json")
+	if err != nil {
+		t.Fatalf("json multi: %v", err)
+	}
+	var results []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("multi-experiment JSON is not one array: %v\n%s", err, out)
+	}
+	if len(results) != 2 || results[0].ID != "table1" || results[1].ID != "fig5" {
+		t.Fatalf("array content wrong: %+v", results)
+	}
+}
+
+func TestRunSummaryBlock(t *testing.T) {
+	out, err := capture(t, "-experiment", "table1", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# summary:") {
+		t.Fatalf("default TSV output missing '# summary' block:\n%s", out)
+	}
+
+	out, err = capture(t, "-experiment", "table1", "-quick", "-summary=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "# summary:") {
+		t.Fatalf("-summary=false must suppress the manifest:\n%s", out)
+	}
+}
+
+// TestJobsDeterminism is the parallel-runner smoke: the output payload
+// must be byte-identical no matter how many workers simulate. The
+// sample spans the static dumbbell (table1, fig5), the queue-buildup
+// ablation (ablation-average), incast and the weighted scheduler
+// figure, so scheduler, marker and transport paths all execute under
+// both job counts. -summary=false removes the only intentionally
+// nondeterministic bytes (wall times).
+func TestJobsDeterminism(t *testing.T) {
+	args := []string{
+		"-experiment", "table1,fig5,fig4,incast,ablation-average",
+		"-quick", "-summary=false",
+	}
+	serial, err := capture(t, append(args, "-jobs", "1")...)
+	if err != nil {
+		t.Fatalf("-jobs 1: %v", err)
+	}
+	parallel, err := capture(t, append(args, "-jobs", "8")...)
+	if err != nil {
+		t.Fatalf("-jobs 8: %v", err)
+	}
+	if serial != parallel {
+		t.Fatalf("-jobs 8 output differs from -jobs 1:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "# table1:") || !strings.Contains(serial, "# ablation-average:") {
+		t.Fatalf("determinism sample incomplete:\n%s", serial)
+	}
+}

@@ -69,6 +69,42 @@ func TestAveragedBadWeightDefaultsToOne(t *testing.T) {
 	}
 }
 
+// A queue-count change must reseed the EWMA from the live view, not
+// blend the new occupancies into freshly zeroed slots: blending would
+// report avg = w*instantaneous after the resize and suppress marking
+// until the EWMA re-converged, hiding real congestion for many packets.
+func TestAveragedResizeReseedsFromInstantaneous(t *testing.T) {
+	m := NewAveraged(&PerQueueStandard{K: units.Packets(4)}, 0.002)
+	p := &pkt.Packet{ECT: true}
+
+	// Establish history on a one-queue port.
+	m.ShouldMark(pv(10*units.Gbps, []float64{1}, units.Packets(2)), 0, p)
+	m.ShouldMark(pv(10*units.Gbps, []float64{1}, units.Packets(2)), 0, p)
+
+	// Resize to three queues with known occupancy: the very next update
+	// must adopt the instantaneous values wholesale.
+	occ := []int{units.Packets(7), 0, units.Packets(3)}
+	resized := pv(10*units.Gbps, []float64{1, 1, 1}, occ...)
+	m.ShouldMark(resized, 1, p)
+	if len(m.queues) != 3 {
+		t.Fatalf("queue slots = %d, want 3", len(m.queues))
+	}
+	for q, want := range occ {
+		if m.queues[q] != float64(want) {
+			t.Fatalf("queue %d avg = %v after resize, want instantaneous %d", q, m.queues[q], want)
+		}
+	}
+	if want := float64(occ[0] + occ[1] + occ[2]); m.port != want {
+		t.Fatalf("port avg = %v after resize, want instantaneous %v", m.port, want)
+	}
+
+	// And with the tiny weight, the seeded average marks queue 0 (7 > K)
+	// immediately instead of waiting out a re-convergence.
+	if !m.ShouldMark(resized, 0, p) {
+		t.Fatal("reseeded average must see the congested queue at once")
+	}
+}
+
 func TestAveragedQueueCountChange(t *testing.T) {
 	m := NewAveraged(&PerQueueStandard{K: units.Packets(4)}, 0.5)
 	p := &pkt.Packet{ECT: true}

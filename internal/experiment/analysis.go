@@ -42,6 +42,7 @@ func runAnalysisValidation(opt Options) (*Result, error) {
 	an := &core.Analysis{C: motiveRate, RTT: 42500 * time.Nanosecond, Weights: []float64{1}}
 	for _, n := range []int{2, 4, 8} {
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: topo.PortProfile{
 				Weights:   topo.EqualWeights(1),
 				NewSched:  topo.FIFOFactory(),
@@ -83,6 +84,7 @@ func runAblationAverage(opt Options) (*Result, error) {
 	for _, w := range []float64{1.0, 0.25, 0.0625} {
 		w := w
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: topo.PortProfile{
 				Weights:  topo.EqualWeights(1),
 				NewSched: topo.FIFOFactory(),

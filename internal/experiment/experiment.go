@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"pmsb/internal/sim"
 )
 
 // Options tunes an experiment run.
@@ -24,6 +27,22 @@ type Options struct {
 	// with consecutive seeds and reports cross-seed means (default 1).
 	// Deterministic experiments ignore it.
 	Repeats int
+
+	// pool, set by RunMany, lets the repeat loops of randomized sweeps
+	// borrow idle workers for per-seed fan-out (see eachRepeat).
+	pool *workerPool
+	// events, set by RunMany, accumulates processed engine events for
+	// the run manifest.
+	events *atomic.Int64
+}
+
+// observeEngine credits a finished engine's processed-event count to
+// the run manifest. A no-op outside RunMany. Safe to call from the
+// fan-out goroutines of eachRepeat.
+func (o Options) observeEngine(eng *sim.Engine) {
+	if o.events != nil {
+		o.events.Add(int64(eng.Processed()))
+	}
 }
 
 func (o Options) seed() int64 {

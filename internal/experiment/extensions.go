@@ -110,6 +110,7 @@ func runPool(opt Options) (*Result, error) {
 			f.Sender.Start()
 		}
 		eng.RunUntil(dur)
+		opt.observeEngine(eng)
 
 		from, to := int(warmup/time.Millisecond), int(dur/time.Millisecond)
 		return outcome{
@@ -142,6 +143,7 @@ func runAblationPortK(opt Options) (*Result, error) {
 	}
 	import1 := func(k int) (share, rtt, markFrac float64) {
 		r := runStatic(staticConfig{
+			opt:        opt,
 			profile:    defaultTwoQueueProfile(func() ecn.Marker { return &ecn.PerPort{K: units.Packets(k)} }),
 			accessRate: motiveRate, bottleneckRate: motiveRate, delay: motiveDelay,
 			groups: []flowGroup{
@@ -181,6 +183,7 @@ func runAblationFilter(opt Options) (*Result, error) {
 	for _, scale := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
 		scale := scale
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: defaultTwoQueueProfile(func() ecn.Marker {
 				return &core.PMSB{PortK: units.Packets(16), ThresholdScale: scale}
 			}),

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pmsb/internal/core"
@@ -74,15 +75,29 @@ type fctMetrics struct {
 // projections (fig16..fig27) of one pmsbsim -all invocation do not
 // re-simulate the same cells. The simulator is deterministic, so a
 // cache hit is byte-identical to a re-run. Keyed by scheduler + options.
-var fctCache = map[string]*Result{}
+// Entries carry a sync.Once so concurrent RunMany workers that need the
+// same sweep (fct-dwrr plus fig16..fig21, say) compute it exactly once:
+// the first caller simulates, later callers block on the entry and then
+// read the shared result.
+var (
+	fctCacheMu sync.Mutex
+	fctCache   = map[string]*fctCacheEntry{}
+)
+
+type fctCacheEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
 
 func fctCacheKey(schedName string, opt Options) string {
 	return fmt.Sprintf("%s/quick=%v/seed=%d/rep=%d", schedName, opt.Quick, opt.seed(), opt.repeats())
 }
 
 // runFCTOnce simulates one (scheduler, scheme, load) cell and returns
-// the FCT metrics.
-func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed int64) *fctMetrics {
+// the FCT metrics. opt is only consulted for manifest accounting; the
+// cell's randomness comes entirely from seed.
+func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed int64, opt Options) *fctMetrics {
 	eng := sim.NewEngine()
 	var schedF topo.SchedFactory
 	switch schedName {
@@ -156,6 +171,7 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 	for _, h := range ls.Hosts {
 		m.unclaimed += h.UnclaimedPackets()
 	}
+	opt.observeEngine(eng)
 	return m
 }
 
@@ -202,16 +218,35 @@ func fctFlows(opt Options) int {
 }
 
 // runFCTSweep produces the full table for one scheduler: one row per
-// (scheme, load) with the six statistics of Figures 16-21 / 22-27.
+// (scheme, load) with the six statistics of Figures 16-21 / 22-27. The
+// heavy lifting is memoized per (scheduler, options) in fctCache;
+// concurrent callers share one computation.
 func runFCTSweep(id, title, schedName string, opt Options) (*Result, error) {
-	if cached, ok := fctCache[fctCacheKey(schedName, opt)]; ok {
-		out := *cached
-		out.ID, out.Title = id, title
-		return &out, nil
+	key := fctCacheKey(schedName, opt)
+	fctCacheMu.Lock()
+	entry := fctCache[key]
+	if entry == nil {
+		entry = &fctCacheEntry{}
+		fctCache[key] = entry
 	}
+	fctCacheMu.Unlock()
+	entry.once.Do(func() {
+		entry.res, entry.err = computeFCTSweep(schedName, opt)
+	})
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	out := *entry.res
+	out.ID, out.Title = id, title
+	return &out, nil
+}
+
+// computeFCTSweep simulates every (scheme, load, seed) cell of one
+// scheduler's sweep. Repeats fan out across idle RunMany workers; the
+// merge and all sanity checks run in deterministic seed order.
+func computeFCTSweep(schedName string, opt Options) (*Result, error) {
 	res := &Result{
-		ID:    id,
-		Title: title,
+		// ID and Title are stamped per caller by runFCTSweep.
 		Headers: []string{
 			"scheme", "load",
 			"overall_avg_ms",
@@ -233,16 +268,20 @@ func runFCTSweep(id, title, schedName string, opt Options) (*Result, error) {
 			continue
 		}
 		for _, load := range fctLoads(opt) {
-			// Repeats > 1 averages the statistics over consecutive
-			// seeds; the per-seed sanity checks still apply.
-			reps := make([]*fctMetrics, 0, opt.repeats())
-			for r := 0; r < opt.repeats(); r++ {
-				m := runFCTOnce(schedName, sc, load, fctFlows(opt), opt.seed()+int64(r))
+			// Repeats > 1 pools the statistics over consecutive seeds.
+			// The seeds are independent simulations, so they fan out
+			// across idle workers; the sanity checks and the merge run
+			// in seed order afterwards so failures and results are
+			// identical at any job count.
+			reps := make([]*fctMetrics, opt.repeats())
+			opt.eachRepeat(len(reps), func(r int) {
+				reps[r] = runFCTOnce(schedName, sc, load, fctFlows(opt), opt.seed()+int64(r), opt)
+			})
+			for _, m := range reps {
 				if m.routeDrops > 0 || m.unclaimed > 0 {
 					return nil, fmt.Errorf("fct %s/%s@%.1f: fabric sanity violated (routeDrops=%d unclaimed=%d)",
 						schedName, sc.name, load, m.routeDrops, m.unclaimed)
 				}
-				reps = append(reps, m)
 			}
 			m := mergeFCT(reps)
 			cells = append(cells, cell{sc.name, load, m})
@@ -277,7 +316,6 @@ func runFCTSweep(id, title, schedName string, opt Options) (*Result, error) {
 				load, (1-p.small.Mean()/mq.small.Mean())*100)
 		}
 	}
-	fctCache[fctCacheKey(schedName, opt)] = res
 	return res, nil
 }
 
@@ -334,7 +372,7 @@ func runAblationMarkPoint(opt Options) (*Result, error) {
 			name:   "pmsb-" + point.String(),
 			marker: func() ecn.Marker { return &core.PMSB{PortK: units.Packets(fctPortK), MarkPoint: point} },
 		}
-		m := runFCTOnce("dwrr", sc, 0.6, numFlows, opt.seed())
+		m := runFCTOnce("dwrr", sc, 0.6, numFlows, opt.seed(), opt)
 		res.AddRow(
 			point.String(),
 			msec(m.all.Mean()),

@@ -52,6 +52,9 @@ type staticConfig struct {
 	// any time-aware marker); they override profile.NewSched/NewMarker.
 	schedWith  func(eng *sim.Engine) topo.SchedFactory
 	markerWith func(eng *sim.Engine) topo.MarkerFactory
+	// opt carries the experiment options so the run is accounted in
+	// the RunMany manifest; the zero value disables accounting.
+	opt Options
 }
 
 // staticRun is the instantiated experiment with its measurements.
@@ -123,6 +126,7 @@ func runStatic(cfg staticConfig) *staticRun {
 		r.groups = append(r.groups, flows)
 	}
 	eng.RunUntil(cfg.dur)
+	cfg.opt.observeEngine(eng)
 	return r
 }
 

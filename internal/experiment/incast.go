@@ -90,6 +90,7 @@ func runIncast(opt Options) (*Result, error) {
 			f.Sender.Start() // all at t=0: the synchronized burst
 		}
 		eng.RunUntil(5 * time.Second)
+		opt.observeEngine(eng)
 		for _, f := range flows {
 			retx += f.Sender.Retransmits()
 		}

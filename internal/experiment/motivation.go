@@ -57,6 +57,7 @@ func runFig1(opt Options) (*Result, error) {
 			groups[i].count++
 		}
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: topo.PortProfile{
 				Weights:   topo.EqualWeights(nq),
 				NewSched:  topo.WFQFactory(),
@@ -103,6 +104,7 @@ func runFig2(opt Options) (*Result, error) {
 	for _, k := range []int{2, 16} {
 		k := k
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: topo.PortProfile{
 				Weights:   topo.EqualWeights(8),
 				NewSched:  topo.WFQFactory(),
@@ -125,6 +127,7 @@ func runFig2(opt Options) (*Result, error) {
 func perPortFairness(id, title string, opt Options, portK, q2Flows int) (*Result, error) {
 	dur, warmup := staticDur(opt)
 	r := runStatic(staticConfig{
+		opt: opt,
 		profile: topo.PortProfile{
 			Weights:   topo.EqualWeights(2),
 			NewSched:  topo.WFQFactory(),
@@ -178,6 +181,7 @@ func markPointPeaks(id, title string, opt Options, markers map[string]func() ecn
 	for _, name := range order {
 		mk := markers[name]
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: topo.PortProfile{
 				Weights:   topo.EqualWeights(1),
 				NewSched:  topo.FIFOFactory(),

@@ -129,6 +129,7 @@ func runPFC(opt Options) (*Result, error) {
 		ds = append(ds, victim)
 
 		eng.RunUntil(dur)
+		opt.observeEngine(eng)
 		for _, s := range ds {
 			s.Stop()
 		}

@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workerPool bounds the total simulation concurrency of one RunMany
+// invocation. Experiment-level fan-out and per-seed fan-out inside a
+// single experiment draw from the same token budget, so jobs=N never
+// oversubscribes N workers no matter how the work nests.
+type workerPool struct {
+	tokens chan struct{}
+}
+
+func newWorkerPool(jobs int) *workerPool {
+	p := &workerPool{tokens: make(chan struct{}, jobs)}
+	for i := 0; i < jobs; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+func (p *workerPool) acquire() { <-p.tokens }
+func (p *workerPool) release() { p.tokens <- struct{}{} }
+
+// tryAcquire grabs a token only when one is idle right now. Nested
+// fan-out uses it so a goroutine that already holds a token can never
+// deadlock waiting for a second one.
+func (p *workerPool) tryAcquire() bool {
+	select {
+	case <-p.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// eachRepeat runs fn(0), fn(1), ..., fn(n-1), fanning iterations across
+// idle RunMany workers when a pool is attached to the options (serial
+// otherwise). fn must write its result into a per-index slot so callers
+// reassemble in index order; the calling goroutine always contributes,
+// so progress never depends on token availability. Used by the repeat
+// loops of the randomized sweeps to run consecutive seeds in parallel.
+func (o Options) eachRepeat(n int, fn func(r int)) {
+	if o.pool == nil || n < 2 {
+		for r := 0; r < n; r++ {
+			fn(r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		if r == n-1 || !o.pool.tryAcquire() {
+			fn(r)
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer o.pool.release()
+			fn(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// ExperimentReport is one experiment's row in a run manifest.
+type ExperimentReport struct {
+	// ID is the experiment ID.
+	ID string `json:"id"`
+	// WallMS is the experiment's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Events counts the simulator events processed by the experiment's
+	// engines. An experiment that hits the shared FCT-sweep cache
+	// reports only its (near-zero) projection cost; the sweep itself is
+	// credited to whichever experiment computed it first.
+	Events int64 `json:"events"`
+}
+
+// Manifest summarizes one RunMany invocation: the worker count, total
+// wall time and the per-experiment cost breakdown in registration
+// order. Wall times are inherently nondeterministic; everything else
+// about a run is byte-identical at any job count.
+type Manifest struct {
+	Jobs        int                `json:"jobs"`
+	WallMS      float64            `json:"wall_ms"`
+	TotalEvents int64              `json:"total_events"`
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// Summary renders the manifest as a '#'-prefixed block that can trail
+// TSV output without disturbing its tabular payload.
+func (m *Manifest) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# summary: %d experiments, jobs=%d, wall time %v, %d events\n",
+		len(m.Experiments), m.Jobs,
+		(time.Duration(m.WallMS * float64(time.Millisecond))).Round(time.Millisecond),
+		m.TotalEvents)
+	b.WriteString("# experiment\twall_ms\tevents\n")
+	for _, e := range m.Experiments {
+		fmt.Fprintf(&b, "# %s\t%.1f\t%d\n", e.ID, e.WallMS, e.Events)
+	}
+	return b.String()
+}
+
+// RunMany executes specs with at most jobs experiments simulating at
+// once (jobs < 1 means runtime.NumCPU()). Each experiment builds its
+// own private sim.Engine and every engine is deterministic, so results
+// are byte-identical to a serial run and come back in the order specs
+// were given. On failure the returned results hold the completed prefix
+// (every spec before the earliest failing one, in order) and the error
+// names that spec — exactly what a serial loop would have produced; the
+// manifest is nil in that case.
+func RunMany(specs []Spec, opt Options, jobs int) ([]*Result, *Manifest, error) {
+	if jobs < 1 {
+		jobs = runtime.NumCPU()
+	}
+	type outcome struct {
+		res    *Result
+		err    error
+		wall   time.Duration
+		events int64
+	}
+	pool := newWorkerPool(jobs)
+	outcomes := make([]outcome, len(specs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range specs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.acquire()
+			defer pool.release()
+			var events atomic.Int64
+			o := opt
+			o.pool, o.events = pool, &events
+			t0 := time.Now()
+			res, err := specs[i].Run(o)
+			outcomes[i] = outcome{res, err, time.Since(t0), events.Load()}
+		}()
+	}
+	wg.Wait()
+
+	results := make([]*Result, 0, len(specs))
+	m := &Manifest{Jobs: jobs, WallMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	for i, oc := range outcomes {
+		if oc.err != nil {
+			return results, nil, fmt.Errorf("%s: %w", specs[i].ID, oc.err)
+		}
+		results = append(results, oc.res)
+		m.Experiments = append(m.Experiments, ExperimentReport{
+			ID:     specs[i].ID,
+			WallMS: float64(oc.wall) / float64(time.Millisecond),
+			Events: oc.events,
+		})
+		m.TotalEvents += oc.events
+	}
+	return results, m, nil
+}

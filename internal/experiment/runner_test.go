@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmsb/internal/sim"
+)
+
+// syntheticSpec builds a spec whose Run spins a tiny engine so the
+// manifest's event accounting has something real to count. The result
+// row records the options seed so callers can verify the spec saw the
+// options RunMany handed it.
+func syntheticSpec(id string, events int) Spec {
+	return Spec{
+		ID:    id,
+		Title: "synthetic " + id,
+		Run: func(opt Options) (*Result, error) {
+			eng := sim.NewEngine()
+			for i := 0; i < events; i++ {
+				eng.Schedule(time.Duration(i)*time.Microsecond, func() {})
+			}
+			eng.Run()
+			opt.observeEngine(eng)
+			r := &Result{ID: id, Title: "synthetic " + id, Headers: []string{"seed"}}
+			r.AddRow(fmt.Sprintf("%d", opt.seed()))
+			return r, nil
+		},
+	}
+}
+
+func TestRunManyPreservesOrder(t *testing.T) {
+	var specs []Spec
+	for i := 0; i < 12; i++ {
+		// Vary the workload so completion order differs from
+		// registration order under parallelism.
+		specs = append(specs, syntheticSpec(fmt.Sprintf("s%02d", i), 50*(12-i)))
+	}
+	for _, jobs := range []int{1, 4, 16} {
+		results, m, err := RunMany(specs, Options{Seed: 7}, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(results) != len(specs) {
+			t.Fatalf("jobs=%d: %d results, want %d", jobs, len(results), len(specs))
+		}
+		for i, r := range results {
+			if r.ID != specs[i].ID {
+				t.Fatalf("jobs=%d: result %d is %s, want %s", jobs, i, r.ID, specs[i].ID)
+			}
+			if r.Rows[0][0] != "7" {
+				t.Fatalf("jobs=%d: spec %s saw seed %s, want 7", jobs, r.ID, r.Rows[0][0])
+			}
+			if m.Experiments[i].ID != specs[i].ID {
+				t.Fatalf("jobs=%d: manifest row %d is %s, want %s", jobs, i, m.Experiments[i].ID, specs[i].ID)
+			}
+		}
+	}
+}
+
+func TestRunManyManifestCountsEvents(t *testing.T) {
+	specs := []Spec{syntheticSpec("a", 100), syntheticSpec("b", 40)}
+	_, m, err := RunMany(specs, Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 2 {
+		t.Fatalf("manifest jobs = %d, want 2", m.Jobs)
+	}
+	if m.Experiments[0].Events != 100 || m.Experiments[1].Events != 40 {
+		t.Fatalf("per-experiment events = %d, %d; want 100, 40",
+			m.Experiments[0].Events, m.Experiments[1].Events)
+	}
+	if m.TotalEvents != 140 {
+		t.Fatalf("total events = %d, want 140", m.TotalEvents)
+	}
+	sum := m.Summary()
+	for _, want := range []string{"# summary: 2 experiments, jobs=2", "# a\t", "# b\t", "140 events"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// An error must surface exactly as a serial loop would have reported
+// it: the completed prefix of results, and the earliest failing spec's
+// ID wrapping the cause — even when a later spec also fails.
+func TestRunManyErrorMatchesSerialSemantics(t *testing.T) {
+	boom := errors.New("boom")
+	fail := func(id string) Spec {
+		return Spec{ID: id, Title: id, Run: func(Options) (*Result, error) { return nil, boom }}
+	}
+	specs := []Spec{syntheticSpec("ok1", 10), syntheticSpec("ok2", 10), fail("bad1"), fail("bad2")}
+	results, m, err := RunMany(specs, Options{}, 4)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error does not wrap cause: %v", err)
+	}
+	if !strings.HasPrefix(err.Error(), "bad1:") {
+		t.Fatalf("error must name the earliest failing spec: %v", err)
+	}
+	if len(results) != 2 || results[0].ID != "ok1" || results[1].ID != "ok2" {
+		t.Fatalf("results must be the completed prefix, got %d", len(results))
+	}
+	if m != nil {
+		t.Fatal("manifest must be nil on error")
+	}
+}
+
+func TestRunManyDefaultJobs(t *testing.T) {
+	_, m, err := RunMany([]Spec{syntheticSpec("a", 1)}, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != runtime.NumCPU() {
+		t.Fatalf("jobs<1 resolved to %d, want NumCPU %d", m.Jobs, runtime.NumCPU())
+	}
+}
+
+// eachRepeat is the nested fan-out used by the randomized sweeps. With
+// or without a pool attached it must run every index exactly once and
+// let per-index slots reassemble deterministically; with a pool it must
+// never deadlock even when every token is already held (the caller
+// always runs iterations inline as a fallback).
+func TestEachRepeatCoversAllIndices(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"serial", Options{}},
+		{"pooled", Options{pool: newWorkerPool(4)}},
+		{"starved", func() Options {
+			p := newWorkerPool(2)
+			p.acquire()
+			p.acquire() // all tokens held: fan-out must degrade to inline
+			return Options{pool: p}
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 17
+			var calls [n]atomic.Int32
+			tc.opt.eachRepeat(n, func(r int) { calls[r].Add(1) })
+			for r := range calls {
+				if got := calls[r].Load(); got != 1 {
+					t.Fatalf("index %d ran %d times, want 1", r, got)
+				}
+			}
+		})
+	}
+}
+
+// The repeat fan-out must not change what a sweep computes: per-index
+// slots filled under a pool equal the serial fill.
+func TestEachRepeatDeterministicSlots(t *testing.T) {
+	fill := func(opt Options) []int64 {
+		out := make([]int64, 9)
+		opt.eachRepeat(len(out), func(r int) {
+			eng := sim.NewEngine()
+			for i := 0; i <= r; i++ {
+				eng.Schedule(time.Duration(i)*time.Microsecond, func() {})
+			}
+			eng.Run()
+			out[r] = int64(eng.Processed()) * (int64(r) + 3)
+		})
+		return out
+	}
+	serial := fill(Options{})
+	pooled := fill(Options{pool: newWorkerPool(8)})
+	for r := range serial {
+		if serial[r] != pooled[r] {
+			t.Fatalf("slot %d: serial %d != pooled %d", r, serial[r], pooled[r])
+		}
+	}
+}

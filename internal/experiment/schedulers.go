@@ -43,6 +43,7 @@ func runStaged(opt Options, sc stagedConfig) (*Result, error) {
 		dur = 120 * time.Millisecond
 	}
 	r := runStatic(staticConfig{
+		opt: opt,
 		profile: topo.PortProfile{
 			Weights:   topo.EqualWeights(sc.queues),
 			NewSched:  sc.schedF,

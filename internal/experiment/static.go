@@ -30,6 +30,7 @@ func pmsbFairness(id, title string, opt Options, q2Flows int) (*Result, error) {
 		q2Flows = 30 // preserve the heavy-traffic character, cut runtime
 	}
 	r := runStatic(staticConfig{
+		opt: opt,
 		profile: topo.PortProfile{
 			Weights:   topo.EqualWeights(2),
 			NewSched:  topo.WFQFactory(),
@@ -123,6 +124,7 @@ func runFig9(opt Options) (*Result, error) {
 	results := make(map[string][2]float64)
 	for _, sc := range schemes {
 		r := runStatic(staticConfig{
+			opt:        opt,
 			profile:    topo.PortProfile{Weights: topo.EqualWeights(2)},
 			schedWith:  sc.sched,
 			markerWith: sc.marker,
@@ -161,6 +163,7 @@ func pmsbPeaks(id, title string, opt Options, mk func(point ecn.Point) ecn.Marke
 	for _, point := range []ecn.Point{ecn.AtEnqueue, ecn.AtDequeue} {
 		point := point
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: topo.PortProfile{
 				Weights:   topo.EqualWeights(1),
 				NewSched:  topo.FIFOFactory(),

@@ -62,6 +62,7 @@ func runTheorem41(opt Options) (*Result, error) {
 			n = 1
 		}
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: topo.PortProfile{
 				Weights:   topo.EqualWeights(1),
 				NewSched:  topo.FIFOFactory(),

@@ -49,6 +49,7 @@ func runAblationRTTThresh(opt Options) (*Result, error) {
 	} {
 		thresh := thresh
 		r := runStatic(staticConfig{
+			opt: opt,
 			profile: defaultTwoQueueProfile(func() ecn.Marker {
 				return &ecn.PerPort{K: units.Packets(16)}
 			}),
@@ -175,6 +176,7 @@ func runFCTWeighted(opt Options) (*Result, error) {
 			lastStart = spec.Start
 		}
 		eng.RunUntil(lastStart + 2*time.Second)
+		opt.observeEngine(eng)
 	}
 
 	for _, sc := range schemes {

@@ -125,6 +125,58 @@ func TestTwoPortsShareDTPool(t *testing.T) {
 	}
 }
 
+// Drop-heavy drain: when far more traffic arrives than the pool can
+// hold, every admitted byte must eventually be released — Admit
+// reserving on rejected packets (or Release double-counting) would
+// leave ghost bytes that permanently shrink every port's DT threshold.
+func TestSharedBufferAccountingAfterDropHeavyDrain(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := NewSharedBuffer(units.Packets(8), 0.5)
+	dstA := &sink{id: 2, eng: eng}
+	dstB := &sink{id: 3, eng: eng}
+	portA := NewPort(eng, NewLink(eng, 100*units.Mbps, 0, dstA),
+		PortConfig{Sched: sched.NewFIFO(), Shared: pool})
+	portB := NewPort(eng, NewLink(eng, 100*units.Mbps, 0, dstB),
+		PortConfig{Sched: sched.NewFIFO(), Shared: pool})
+
+	// Burst far beyond capacity in alternating waves, letting partial
+	// drains interleave with fresh floods so Admit sees the pool at many
+	// occupancy levels.
+	const waves, perWave = 5, 40
+	sent := 0
+	for w := 0; w < waves; w++ {
+		at := time.Duration(w) * 500 * time.Microsecond
+		for i := 0; i < perWave; i++ {
+			id := uint64(sent)
+			p := w
+			eng.ScheduleAt(at, func() {
+				if p%2 == 0 {
+					portA.Send(dataPkt(id, units.MTU))
+				} else {
+					portB.Send(dataPkt(id, units.MTU))
+				}
+			})
+			sent++
+		}
+	}
+	eng.Run()
+
+	if pool.Used() != 0 {
+		t.Fatalf("pool used after full drain = %d, want 0", pool.Used())
+	}
+	if pool.Rejects() == 0 {
+		t.Fatal("flood must overrun the pool (test is not drop-heavy)")
+	}
+	drops := int(portA.DropPackets() + portB.DropPackets())
+	if drops == 0 {
+		t.Fatal("expected port drops under the flood")
+	}
+	if delivered := len(dstA.packets) + len(dstB.packets); delivered+drops != sent {
+		t.Fatalf("conservation broken: %d delivered + %d dropped != %d sent",
+			delivered, drops, sent)
+	}
+}
+
 // Property: pool accounting never goes negative and never exceeds
 // capacity, for any admit/release interleaving.
 func TestPropertySharedBufferBounds(t *testing.T) {

@@ -166,26 +166,33 @@ func (d *DWRR) dropFromRing(q int) {
 	}
 }
 
-// openRound starts timing a new round led by queue q.
+// openRound starts timing a new round led by queue q. A round that
+// opens after the port sat idle for more than tIdle first discards the
+// smoothed round time: the estimate describes a load that is gone, and
+// MQ-ECN's dynamic thresholds must fall back to the standard threshold
+// until fresh samples arrive. Shorter gaps keep the estimate — the port
+// was only briefly quiet and the EWMA history is still representative.
 func (d *DWRR) openRound(q int) {
-	d.roundHead = q
 	if d.now != nil {
-		d.roundStart = d.now()
+		t := d.now()
+		if d.roundHead == -1 && d.everBusy && t-d.emptiedAt > d.tIdle {
+			d.roundTime = 0
+		}
+		d.roundStart = t
 	}
+	d.roundHead = q
 }
 
-// closeRound samples the elapsed round time and elects the next round
-// head from the front of the ring.
+// closeRound samples the elapsed round time into the EWMA and elects
+// the next round head from the front of the ring. Rounds never span an
+// idle period — draining the port closes the current round and the next
+// enqueue opens a fresh one — so every sample here reflects busy time;
+// staleness across idle gaps is handled by openRound (and, earlier, by
+// ObserveIdle when the port reports the gap at enqueue).
 func (d *DWRR) closeRound() {
 	if d.now != nil {
 		sample := d.now() - d.roundStart
-		// Skip samples that span an idle gap longer than tIdle: they do
-		// not reflect a busy round.
-		if d.everBusy && d.now()-d.emptiedAt >= 0 && d.roundStart < d.emptiedAt {
-			d.roundTime = 0
-		} else {
-			d.roundTime = time.Duration(d.beta*float64(d.roundTime) + (1-d.beta)*float64(sample))
-		}
+		d.roundTime = time.Duration(d.beta*float64(d.roundTime) + (1-d.beta)*float64(sample))
 	}
 	if len(d.active) == 0 {
 		d.roundHead = -1
@@ -198,9 +205,9 @@ func (d *DWRR) markIdle() {
 	d.everBusy = true
 	if d.now != nil {
 		d.emptiedAt = d.now()
-		// After tIdle of inactivity the round estimate is stale; the
-		// next enqueue observes roundTime 0 via this lazy reset when the
-		// idle gap exceeds tIdle.
+		// The reset itself is lazy: openRound (on the next enqueue) or
+		// ObserveIdle (if the port reports the gap first) compares the
+		// gap against tIdle and zeroes the estimate when it is stale.
 	}
 }
 

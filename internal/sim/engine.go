@@ -153,8 +153,12 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes events with timestamps <= deadline (or until Stop).
-// After it returns, Now() is deadline if the simulation reached it, or
-// the time of the last event if the event queue drained first.
+// On return the clock is at deadline whenever the run was not stopped —
+// even when the event queue drained before reaching it — so a caller
+// that measures "rate over the run" always divides by the full window.
+// When Stop ends the run early, the clock stays at the stopping event's
+// time: the deadline was never reached and pretending otherwise would
+// stretch every rate and age computed afterwards.
 func (e *Engine) RunUntil(deadline time.Duration) {
 	e.stopped = false
 	for !e.stopped {
@@ -164,14 +168,18 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		}
 		e.Step()
 	}
-	// Advance the clock to the deadline even if the next event is beyond
-	// it (or none remain), so callers observe consistent time.
-	if e.now < deadline && !e.stopped {
+	if e.stopped {
+		return
+	}
+	if e.now < deadline {
 		e.now = deadline
 	}
 }
 
 // Stop makes Run/RunUntil return after the current event completes.
+// Unfired events stay queued and the clock stays at the stopping
+// event's time, so a later Run/RunUntil resumes exactly where the
+// simulation left off.
 func (e *Engine) Stop() { e.stopped = true }
 
 func (e *Engine) peek() *event {

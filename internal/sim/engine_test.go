@@ -115,6 +115,58 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// The queue draining before the deadline must not leave the clock at
+// the last event: every RunUntil caller that divides by the run window
+// (throughput, mark fractions) relies on Now() == deadline afterwards.
+func TestRunUntilDrainAdvancesToDeadline(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Millisecond, func() {})
+	e.RunUntil(time.Second)
+	if e.Now() != time.Second {
+		t.Fatalf("Now() after drain = %v, want 1s", e.Now())
+	}
+
+	// An empty queue is the degenerate drain: the clock still lands on
+	// the deadline.
+	e.RunUntil(2 * time.Second)
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now() with no events = %v, want 2s", e.Now())
+	}
+}
+
+// Stop during RunUntil keeps the clock at the stopping event's time —
+// the deadline was never reached — and leaves the remaining events
+// queued so a later run resumes from that point.
+func TestRunUntilStopKeepsClock(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for i := 1; i <= 5; i++ {
+		at := time.Duration(i) * time.Millisecond
+		e.Schedule(at, func() {
+			fired = append(fired, at)
+			if at == 3*time.Millisecond {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntil(time.Second)
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("Now() after Stop = %v, want 3ms", e.Now())
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before Stop, want 3", len(fired))
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+
+	// Resume: the stopped run left the queue intact.
+	e.RunUntil(time.Second)
+	if len(fired) != 5 || e.Now() != time.Second {
+		t.Fatalf("resume fired %d events, Now() = %v; want 5 events at 1s", len(fired), e.Now())
+	}
+}
+
 func TestStop(t *testing.T) {
 	e := NewEngine()
 	count := 0
