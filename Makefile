@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench ci reproduce quick-reproduce examples clean
+.PHONY: all build vet test test-short bench bench-all ci reproduce quick-reproduce examples clean
 
 all: build vet test
 
@@ -26,8 +26,20 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# One benchmark per paper table/figure plus engine micro-benchmarks.
+# Key hot-path benchmarks, recorded as JSON so the perf trajectory is
+# tracked from PR to PR (BENCH_1.json is the current point; diff future
+# runs against it). BENCHTIME trades precision for wall time — CI uses a
+# short value. Run `make bench-all` for every paper table/figure.
+KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
+BENCHTIME ?= 1s
+BENCH_OUT ?= BENCH_1.json
+
 bench:
+	$(GO) test -run '^$$' -bench "$(KEY_BENCHES)" -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# Every benchmark (one per paper table/figure plus engine micro-benches).
+bench-all:
 	$(GO) test -bench . -benchmem .
 
 # Regenerate every table and figure at full fidelity (~10 minutes).

@@ -151,7 +151,9 @@ func BenchmarkMQECNDecision(b *testing.B) {
 }
 
 // BenchmarkPacketForwarding measures raw simulator throughput: packets
-// pushed through a FIFO port and link per second of wall time.
+// pushed through a FIFO port and link per second of wall time. Packets
+// come from the pool and the sink releases them, so the steady state is
+// allocation-free (guarded by TestPortSendZeroAlloc in internal/netsim).
 func BenchmarkPacketForwarding(b *testing.B) {
 	eng := sim.NewEngine()
 	sink := nullNode{}
@@ -160,7 +162,11 @@ func BenchmarkPacketForwarding(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		port.Send(&pkt.Packet{ID: uint64(i), Size: units.MTU, ECT: true})
+		p := pkt.Get()
+		p.ID = uint64(i)
+		p.Size = units.MTU
+		p.ECT = true
+		port.Send(p)
 		if i%64 == 63 {
 			eng.Run()
 		}
@@ -196,11 +202,6 @@ func BenchmarkDCTCPFlow(b *testing.B) {
 // BenchmarkLeafSpineSecond measures simulating the full 48-host fabric
 // with 100 web-search flows.
 func BenchmarkLeafSpineFlows(b *testing.B) {
-	spec, err := experiment.Lookup("fct-dwrr")
-	if err != nil {
-		b.Fatal(err)
-	}
-	_ = spec
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runLeafSpineOnce(b)
@@ -232,11 +233,12 @@ func runLeafSpineOnce(b *testing.B) {
 	}
 }
 
-// nullNode swallows packets (benchmark sink).
+// nullNode swallows packets (benchmark sink): as the terminal consumer
+// it releases each packet back to the pool.
 type nullNode struct{}
 
 func (nullNode) NodeID() pkt.NodeID    { return 0 }
-func (nullNode) Receive(p *pkt.Packet) {}
+func (nullNode) Receive(p *pkt.Packet) { pkt.Release(p) }
 
 func BenchmarkPFC(b *testing.B) { benchExperiment(b, "pfc") }
 

@@ -1,0 +1,150 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON file mapping benchmark name to its metrics, so the
+// repository can track the perf trajectory across PRs (BENCH_1.json is
+// the first recorded point; `make bench` regenerates it).
+//
+// Input lines it understands look like:
+//
+//	BenchmarkPacketForwarding-8   9512162   255.2 ns/op   192 B/op   5 allocs/op
+//
+// Everything else (goos/goarch/pkg headers, PASS, ok) is passed through
+// to stdout untouched, so benchjson can sit at the end of a pipe
+// without hiding the human-readable run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics holds one benchmark's parsed results. Zero B/op and allocs/op
+// are meaningful values (the whole point of the zero-allocation work),
+// so they are always emitted.
+type Metrics struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout only)")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, echo io.Writer, outPath string) error {
+	results, err := parse(in, echo)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	body, err := render(results)
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		fmt.Fprintln(echo, body)
+		return nil
+	}
+	if err := os.WriteFile(outPath, []byte(body+"\n"), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Fprintf(echo, "benchjson: wrote %d benchmarks to %s\n", len(results), outPath)
+	return nil
+}
+
+// parse scans the stream for benchmark result lines, echoing every line
+// so the pipe stays transparent.
+func parse(in io.Reader, echo io.Writer) (map[string]Metrics, error) {
+	results := make(map[string]Metrics)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		m, name, ok := parseLine(line)
+		if ok {
+			results[name] = m
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine extracts one benchmark result. The -N GOMAXPROCS suffix is
+// stripped from the name so the JSON is comparable across machines.
+func parseLine(line string) (Metrics, string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Metrics{}, "", false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Metrics{}, "", false
+	}
+	m := Metrics{Iterations: iters}
+	// The remaining fields come in (value, unit) pairs.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Metrics{}, "", false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	if !seenNs {
+		return Metrics{}, "", false
+	}
+	return m, name, true
+}
+
+// render produces deterministic (sorted-key) JSON so diffs between
+// BENCH_N.json files stay readable.
+func render(results map[string]Metrics) (string, error) {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		entry, err := json.Marshal(results[n])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, entry)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}")
+	return b.String(), nil
+}

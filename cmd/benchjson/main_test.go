@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pmsb
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPacketForwarding-8   	 9512162	       255.2 ns/op	     192 B/op	       5 allocs/op
+BenchmarkDCTCPFlow            	     982	   2204541 ns/op	  554840 B/op	   16522 allocs/op
+BenchmarkZeroAlloc-16         	12345678	        99.9 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	pmsb	7.704s
+`
+
+func TestParseLine(t *testing.T) {
+	m, name, ok := parseLine("BenchmarkPacketForwarding-8   \t 9512162\t       255.2 ns/op\t     192 B/op\t       5 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "BenchmarkPacketForwarding" {
+		t.Fatalf("name = %q, want suffix stripped", name)
+	}
+	if m.Iterations != 9512162 || m.NsPerOp != 255.2 || m.BytesPerOp != 192 || m.AllocsPerOp != 5 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	pmsb	7.704s",
+		"Benchmark", // no fields
+		"BenchmarkBroken-8 notanumber 1 ns/op",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Fatalf("line %q should not parse", line)
+		}
+	}
+}
+
+func TestRunWritesSortedJSON(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var echo strings.Builder
+	if err := run(strings.NewReader(sample), &echo, outPath); err != nil {
+		t.Fatal(err)
+	}
+	// The pipe stays transparent: every input line is echoed.
+	if !strings.Contains(echo.String(), "BenchmarkDCTCPFlow") || !strings.Contains(echo.String(), "PASS") {
+		t.Fatal("input not echoed to stdout")
+	}
+	body, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(body)
+	// Keys sorted, suffixes stripped, zero metrics present.
+	wantOrder := []string{"BenchmarkDCTCPFlow", "BenchmarkPacketForwarding", "BenchmarkZeroAlloc"}
+	last := -1
+	for _, name := range wantOrder {
+		i := strings.Index(got, name)
+		if i < 0 {
+			t.Fatalf("missing %s in output:\n%s", name, got)
+		}
+		if i < last {
+			t.Fatalf("keys not sorted:\n%s", got)
+		}
+		last = i
+	}
+	if !strings.Contains(got, `"allocs_per_op":0`) {
+		t.Fatalf("zero allocs/op not emitted:\n%s", got)
+	}
+	if strings.Contains(got, "BenchmarkZeroAlloc-16") {
+		t.Fatalf("GOMAXPROCS suffix not stripped:\n%s", got)
+	}
+}
+
+func TestRunNoBenchmarks(t *testing.T) {
+	var echo strings.Builder
+	if err := run(strings.NewReader("PASS\n"), &echo, ""); err == nil {
+		t.Fatal("expected error when no benchmark lines present")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pmsb/internal/experiment"
@@ -57,6 +58,8 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("out", "", "write output to this file instead of stdout")
 		jobs    = fs.Int("jobs", runtime.NumCPU(), "max experiments simulated in parallel (payload is identical at any value)")
 		summary = fs.Bool("summary", true, "append the run manifest as a trailing '# summary' block (tsv only)")
+		cpuprof = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
+		memprof = fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -68,6 +71,35 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *format != "tsv" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want tsv or json)", *format)
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		// The heap snapshot is taken on the way out so it reflects the
+		// run's live set, not startup state; a GC first removes dead
+		// objects so the profile shows retained memory.
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmsbsim: create mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pmsbsim: write mem profile:", err)
+			}
+		}()
 	}
 
 	w := stdout

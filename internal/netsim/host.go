@@ -55,17 +55,21 @@ func (h *Host) NodeID() pkt.NodeID { return h.id }
 func (h *Host) NIC() *Port { return h.nic }
 
 // Send transmits a packet out of the host's NIC. Packets sent before a
-// NIC is attached are dropped silently (counted as unclaimed).
+// NIC is attached are dropped silently (counted as unclaimed and
+// released back to the packet pool).
 func (h *Host) Send(p *pkt.Packet) {
 	if h.nic == nil {
 		h.unclaimedPackets++
+		pkt.Release(p)
 		return
 	}
 	h.nic.Send(p)
 }
 
 // Receive implements Node: packets are dispatched to the handler
-// registered for their flow.
+// registered for their flow, which takes ownership (transport endpoints
+// release consumed packets back to the pool). Packets with no handler
+// are terminal here and released.
 func (h *Host) Receive(p *pkt.Packet) {
 	h.rxPackets++
 	h.rxBytes += int64(p.Size)
@@ -74,6 +78,7 @@ func (h *Host) Receive(p *pkt.Packet) {
 		return
 	}
 	h.unclaimedPackets++
+	pkt.Release(p)
 }
 
 // Attach registers a handler for a flow's packets arriving at this host.

@@ -17,12 +17,19 @@ type Link struct {
 	rate  units.Rate
 	delay time.Duration
 	to    Node
+	// deliver is the arrival callback, bound once at construction so
+	// propagating a packet schedules no per-packet closure (multiple
+	// packets can be in flight, so the packet itself rides in the event
+	// arg rather than a field).
+	deliver func(any)
 }
 
 // NewLink returns a link delivering packets to node "to" with the given
 // capacity and one-way propagation delay.
 func NewLink(eng *sim.Engine, rate units.Rate, delay time.Duration, to Node) *Link {
-	return &Link{eng: eng, rate: rate, delay: delay, to: to}
+	l := &Link{eng: eng, rate: rate, delay: delay, to: to}
+	l.deliver = func(arg any) { l.to.Receive(arg.(*pkt.Packet)) }
+	return l
 }
 
 // Rate returns the link capacity.
@@ -38,5 +45,5 @@ func (l *Link) To() Node { return l.to }
 // charged serialization time (ports do this while holding the
 // transmitter busy).
 func (l *Link) Deliver(p *pkt.Packet) {
-	l.eng.Schedule(l.delay, func() { l.to.Receive(p) })
+	l.eng.ScheduleCall(l.delay, l.deliver, p)
 }

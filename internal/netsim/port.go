@@ -51,6 +51,10 @@ type Port struct {
 
 	busy   bool
 	paused bool
+	// inflight is the packet currently being serialized. The port has a
+	// single transmitter, so one field (plus the shared txDone
+	// trampoline) replaces the per-packet completion closure.
+	inflight *pkt.Packet
 
 	// PortStats counters.
 	txPackets, txBytes     int64
@@ -97,27 +101,15 @@ func (p *Port) Send(packet *pkt.Packet) {
 	q := p.cfg.Classify(packet)
 	s := p.cfg.Sched
 	if p.cfg.DropFn != nil && p.cfg.DropFn(packet) {
-		p.dropPackets++
-		p.dropBytes += int64(packet.Size)
-		for _, tap := range p.dropTaps {
-			tap(packet, q)
-		}
+		p.drop(packet, q)
 		return
 	}
 	if p.cfg.BufferBytes > 0 && s.TotalBytes()+packet.Size > p.cfg.BufferBytes {
-		p.dropPackets++
-		p.dropBytes += int64(packet.Size)
-		for _, tap := range p.dropTaps {
-			tap(packet, q)
-		}
+		p.drop(packet, q)
 		return
 	}
 	if p.cfg.Shared != nil && !p.cfg.Shared.Admit(s.TotalBytes(), packet.Size) {
-		p.dropPackets++
-		p.dropBytes += int64(packet.Size)
-		for _, tap := range p.dropTaps {
-			tap(packet, q)
-		}
+		p.drop(packet, q)
 		return
 	}
 	if s.TotalPackets() == 0 {
@@ -141,6 +133,20 @@ func (p *Port) Send(packet *pkt.Packet) {
 		tap(packet, q)
 	}
 	p.kick()
+}
+
+// drop refuses an arriving packet: count it, let the drop taps observe
+// it, then release it back to the packet pool — a refused packet has no
+// further consumer. Every admission path (failure injection, per-port
+// buffer, shared-buffer DT) funnels through here so the accounting and
+// the pool release can never diverge.
+func (p *Port) drop(packet *pkt.Packet, q int) {
+	p.dropPackets++
+	p.dropBytes += int64(packet.Size)
+	for _, tap := range p.dropTaps {
+		tap(packet, q)
+	}
+	pkt.Release(packet)
 }
 
 // kick starts the transmitter if it is idle, unpaused and a packet is
@@ -170,14 +176,24 @@ func (p *Port) kick() {
 		tap(packet, q)
 	}
 	p.busy = true
+	p.inflight = packet
 	p.txPackets++
 	p.txBytes += int64(packet.Size)
 	ser := units.Serialization(packet.Size, p.link.Rate())
-	p.eng.Schedule(ser, func() {
-		p.busy = false
-		p.link.Deliver(packet)
-		p.kick()
-	})
+	p.eng.ScheduleCall(ser, portTxDone, p)
+}
+
+// portTxDone completes a transmission: hand the in-flight packet to the
+// link and restart the transmitter. Shared across all ports (the packet
+// rides in the port's inflight field), so serializing a packet costs no
+// allocation.
+func portTxDone(arg any) {
+	p := arg.(*Port)
+	packet := p.inflight
+	p.inflight = nil
+	p.busy = false
+	p.link.Deliver(packet)
+	p.kick()
 }
 
 // Pause stops the transmitter after the in-flight packet completes

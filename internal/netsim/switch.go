@@ -46,15 +46,18 @@ func (s *Switch) NumPorts() int { return len(s.ports) }
 // SetRoute installs the routing function.
 func (s *Switch) SetRoute(fn RouteFunc) { s.route = fn }
 
-// Receive implements Node: route and enqueue at the output port.
+// Receive implements Node: route and enqueue at the output port. A
+// packet with no route is terminal and returns to the packet pool.
 func (s *Switch) Receive(p *pkt.Packet) {
 	if s.route == nil {
 		s.routeDrops++
+		pkt.Release(p)
 		return
 	}
 	i := s.route(p)
 	if i < 0 || i >= len(s.ports) {
 		s.routeDrops++
+		pkt.Release(p)
 		return
 	}
 	s.ports[i].Send(p)

@@ -11,7 +11,7 @@ type FlowID uint64
 // NodeID identifies a host or switch in a topology.
 type NodeID int32
 
-// Broadcast is the invalid/unset node ID.
+// NoNode is the invalid/unset node ID.
 const NoNode NodeID = -1
 
 // Packet is a simulated network packet. Packets are passed by pointer and
@@ -52,4 +52,8 @@ type Packet struct {
 	// EnqueuedAt is stamped by the switch port at enqueue time; markers
 	// that need sojourn time (TCN) read it at dequeue.
 	EnqueuedAt time.Duration
+
+	// released tracks pool membership in debug mode (see pool.go); it is
+	// unexported so it never leaks into serialized or compared state.
+	released bool
 }

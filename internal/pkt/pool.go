@@ -1,0 +1,92 @@
+package pkt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Packet pooling removes the per-packet heap allocation from the
+// simulator's hot loop. Ownership is linear and follows the packet's
+// journey through the network:
+//
+//   - A producer obtains a packet with Get and hands it to the network
+//     (Host.Send / Port.Send). From then on the packet is owned by
+//     whichever component currently holds it: a scheduler queue, an
+//     in-flight link event, or a dispatch handler.
+//   - The terminal consumer — the transport endpoint that absorbs an
+//     ACK or data packet, a port drop path, a host with no handler for
+//     the flow, or a benchmark sink — calls Release exactly once.
+//   - Components that merely observe a packet (taps, markers,
+//     schedulers) never release it and must not retain the pointer past
+//     their callback: after Release the record may be reused for an
+//     unrelated packet.
+//
+// Holding a packet forever without releasing it is always safe (the
+// pool is an optimization, not reference counting — unreleased packets
+// are simply garbage collected), which keeps tests and tracing code
+// that stash packet pointers correct by construction.
+//
+// The pool is safe for concurrent use; parallel experiment runners
+// share it across engines. Determinism is unaffected because Get fully
+// resets the record: no simulation state depends on which physical
+// record a packet occupies.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// debugPoison enables the use-after-release detector (see SetPoolDebug).
+var debugPoison atomic.Bool
+
+// SetPoolDebug toggles the pool's debug mode. When on, Release poisons
+// every field of the returned packet with loud sentinel values (negative
+// sizes and times, a 0xdead… ID) so any consumer that kept the pointer
+// reads obviously-broken state instead of silently aliasing a future
+// packet, and a double Release panics. The mode is race-clean: the flag
+// is atomic and poisoning happens strictly before the record re-enters
+// the (synchronized) pool.
+func SetPoolDebug(on bool) { debugPoison.Store(on) }
+
+// PoolDebug reports whether debug mode is on.
+func PoolDebug() bool { return debugPoison.Load() }
+
+// poisoned is the debug-mode sentinel state. Every numeric field is
+// negative or nonsensical so downstream arithmetic (serialization
+// times, buffer accounting, sequence matching) fails fast and visibly.
+var poisoned = Packet{
+	ID:         0xdeaddeaddeaddead,
+	Flow:       0xdeaddeaddeaddead,
+	Src:        NoNode,
+	Dst:        NoNode,
+	Size:       -1,
+	Payload:    -1,
+	Seq:        -1 << 62,
+	AckNo:      -1 << 62,
+	Service:    -1,
+	SentAt:     -1 << 62,
+	Echo:       -1 << 62,
+	EnqueuedAt: -1 << 62,
+	released:   true,
+}
+
+// Get returns a zeroed packet from the pool. The caller owns it until
+// it hands the packet to the network; see the ownership rules above.
+func Get() *Packet {
+	p := pool.Get().(*Packet)
+	*p = Packet{}
+	return p
+}
+
+// Release returns a packet to the pool. Only the packet's terminal
+// consumer may call it, exactly once; the pointer must not be used
+// afterwards. Releasing nil is a no-op. Packets not obtained from Get
+// may also be released (the pool absorbs them).
+func Release(p *Packet) {
+	if p == nil {
+		return
+	}
+	if debugPoison.Load() {
+		if p.released {
+			panic("pkt: double Release of the same packet")
+		}
+		*p = poisoned
+	}
+	pool.Put(p)
+}

@@ -1,0 +1,68 @@
+package pkt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGetReturnsZeroedPacket(t *testing.T) {
+	p := Get()
+	p.ID = 42
+	p.Size = 1500
+	p.CE = true
+	p.SentAt = time.Second
+	Release(p)
+	// The pool may or may not hand the same record back; either way
+	// every Get must observe a fully reset packet.
+	for i := 0; i < 10; i++ {
+		q := Get()
+		if q.ID != 0 || q.Size != 0 || q.CE || q.SentAt != 0 || q.released {
+			t.Fatalf("Get returned dirty packet: %+v", q)
+		}
+		Release(q)
+	}
+}
+
+func TestReleaseNilIsNoop(t *testing.T) {
+	Release(nil) // must not panic
+}
+
+func TestPoolDebugPoisonsReleasedPackets(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+
+	p := Get()
+	p.ID = 7
+	p.Size = 1500
+	p.Seq = 1000
+	Release(p)
+	// A use-after-release reads loud sentinel values, not stale (or
+	// worse, recycled) packet state.
+	if p.Size >= 0 || p.Payload >= 0 || p.ID != 0xdeaddeaddeaddead {
+		t.Fatalf("released packet not poisoned: %+v", p)
+	}
+	if p.Src != NoNode || p.Dst != NoNode {
+		t.Fatalf("released packet endpoints not poisoned: %+v", p)
+	}
+
+	// A fresh Get (possibly of the same record) is clean again.
+	q := Get()
+	if q.Size != 0 || q.released {
+		t.Fatalf("Get after poisoned Release returned dirty packet: %+v", q)
+	}
+	Release(q)
+}
+
+func TestPoolDebugDoubleReleasePanics(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+
+	p := Get()
+	Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic in debug mode")
+		}
+	}()
+	Release(p)
+}

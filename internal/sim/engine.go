@@ -1,15 +1,22 @@
 // Package sim implements the deterministic discrete-event engine that
 // drives the packet-level network simulator.
 //
-// The engine keeps a binary heap of pending events ordered by
+// The engine keeps a 4-ary heap of pending events ordered by
 // (time, sequence). The sequence number breaks ties in FIFO order so a
 // simulation with the same inputs always executes events in the same
 // order, which makes every experiment in this repository reproducible
 // bit-for-bit.
+//
+// Two scheduling forms exist. Schedule/ScheduleAt take a plain func()
+// closure — convenient, but every call site that captures state
+// allocates a closure (and the returned *Timer escapes). The hot paths
+// use ScheduleCall/ScheduleCallAt instead: the callback is a func(any)
+// shared across calls (typically a package-level function or a field
+// bound once at construction) and the per-call state travels in the
+// arg word, so steady-state scheduling performs zero allocations.
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -17,7 +24,7 @@ import (
 // is not usable; construct with NewEngine.
 type Engine struct {
 	now     time.Duration
-	events  eventHeap
+	events  []*event // 4-ary min-heap on (at, seq)
 	seq     uint64
 	stopped bool
 	// processed counts executed events, useful for progress reporting
@@ -47,7 +54,8 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Timer is a handle to a scheduled event that can be cancelled or
 // rescheduled. A cancelled timer's callback never runs. Handles stay
 // valid (but inert) after their event fires, even though the engine
-// recycles event records internally.
+// recycles event records internally. The zero Timer is valid and inert,
+// so it can be stored by value and cancelled unconditionally.
 type Timer struct {
 	ev  *event
 	gen uint64
@@ -96,6 +104,36 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to the current time.
 func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
+	ev := e.insert(at)
+	ev.fn = fn
+	return &Timer{ev: ev, gen: ev.gen}
+}
+
+// ScheduleCall runs fn(arg) after delay. It is the allocation-free
+// counterpart of Schedule: fn must not be a per-call closure (use a
+// package-level function or one bound once at construction) and the
+// per-call state travels in arg. The Timer is returned by value so
+// nothing escapes to the heap; the zero Timer a caller might hold
+// before the first ScheduleCall is inert.
+func (e *Engine) ScheduleCall(delay time.Duration, fn func(any), arg any) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleCallAt(e.now+delay, fn, arg)
+}
+
+// ScheduleCallAt runs fn(arg) at absolute virtual time at. Times in the
+// past are clamped to the current time.
+func (e *Engine) ScheduleCallAt(at time.Duration, fn func(any), arg any) Timer {
+	ev := e.insert(at)
+	ev.callFn, ev.arg = fn, arg
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// insert takes an event record from the free list (or allocates one),
+// stamps it with the clamped time and next sequence number, and pushes
+// it onto the heap. The caller fills in the callback.
+func (e *Engine) insert(at time.Duration) *event {
 	if at < e.now {
 		at = e.now
 	}
@@ -104,22 +142,26 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.fn = at, fn
 		ev.cancelled, ev.fired = false, false
 	} else {
-		ev = &event{at: at, fn: fn}
+		ev = &event{}
 	}
+	ev.at = at
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev, gen: ev.gen}
+	e.push(ev)
+	return ev
 }
 
 // recycle returns an executed or cancelled event record to the pool,
-// bumping its generation so outstanding Timer handles go inert.
+// bumping its generation so outstanding Timer handles go inert. The
+// callback and arg are cleared so recycled records don't pin dead
+// closures or packets.
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.callFn = nil
+	ev.arg = nil
 	if len(e.free) < 1024 {
 		e.free = append(e.free, ev)
 	}
@@ -129,7 +171,7 @@ func (e *Engine) recycle(ev *event) {
 // an event was executed.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.pop()
 		if ev.cancelled {
 			e.recycle(ev)
 			continue
@@ -137,9 +179,13 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		ev.fired = true
 		e.processed++
-		fn := ev.fn
+		fn, callFn, arg := ev.fn, ev.callFn, ev.arg
 		e.recycle(ev)
-		fn()
+		if callFn != nil {
+			callFn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -185,7 +231,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) peek() *event {
 	for len(e.events) > 0 {
 		if e.events[0].cancelled {
-			e.recycle(heap.Pop(&e.events).(*event))
+			e.recycle(e.pop())
 			continue
 		}
 		return e.events[0]
@@ -198,7 +244,7 @@ func (e *Engine) peek() *event {
 // window traces).
 type Ticker struct {
 	eng      *sim
-	timer    *Timer
+	timer    Timer
 	stopped  bool
 	interval time.Duration
 	fn       func()
@@ -221,53 +267,98 @@ func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
 	return t
 }
 
+// tickerFire is the shared tick trampoline: ticks carry their Ticker in
+// the event arg, so a ticker schedules forever without allocating.
+func tickerFire(arg any) {
+	t := arg.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	t.schedule()
+}
+
 func (t *Ticker) schedule() {
-	t.timer = t.eng.Schedule(t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		t.schedule()
-	})
+	t.timer = t.eng.ScheduleCall(t.interval, tickerFire, t)
 }
 
 // Stop cancels future ticks. Safe to call repeatedly.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Cancel()
-	}
+	t.timer.Cancel()
 }
 
+// event is a heap node. Exactly one of fn / callFn is set.
 type event struct {
 	at        time.Duration
 	seq       uint64
 	gen       uint64
 	fn        func()
+	callFn    func(any)
+	arg       any
 	cancelled bool
 	fired     bool
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, sequence): a strict total order, so
+// the pop sequence — and therefore every simulation — is independent of
+// the heap's internal layout.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// push and pop maintain a 4-ary min-heap directly on the event slice.
+// Compared to container/heap this removes the interface round trip
+// (method dispatch and the any boxing in Push/Pop) and, with four
+// children per node, roughly halves the tree depth — fewer swaps per
+// operation on the deep heaps a large fabric builds up.
+func (e *Engine) push(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (e *Engine) pop() *event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	// Sift the relocated tail element down to its place.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !eventLess(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
 }

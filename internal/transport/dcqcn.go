@@ -91,7 +91,7 @@ type DCQCNSender struct {
 	cnpCount int64
 
 	nextPktID uint64
-	sendTimer *sim.Timer
+	sendTimer sim.Timer
 	alphaTick *sim.Ticker
 	recoverT  *sim.Ticker
 }
@@ -134,9 +134,7 @@ func (s *DCQCNSender) Stop() {
 		return
 	}
 	s.running = false
-	if s.sendTimer != nil {
-		s.sendTimer.Cancel()
-	}
+	s.sendTimer.Cancel()
 	s.alphaTick.Stop()
 	s.recoverT.Stop()
 	s.host.Detach(s.flow)
@@ -154,31 +152,37 @@ func (s *DCQCNSender) SentBytes() int64 { return s.sent }
 // CNPs returns the number of congestion notifications received.
 func (s *DCQCNSender) CNPs() int64 { return s.cnpCount }
 
+// dcqcnSend is the pacing trampoline (the sender rides in the event
+// arg, so per-packet pacing never allocates).
+func dcqcnSend(arg any) { arg.(*DCQCNSender).sendNext() }
+
 func (s *DCQCNSender) sendNext() {
 	if !s.running {
 		return
 	}
 	s.nextPktID++
-	p := &pkt.Packet{
-		ID:      s.nextPktID,
-		Flow:    s.flow,
-		Src:     s.host.NodeID(),
-		Dst:     s.dst,
-		Size:    s.cfg.PacketSize,
-		Payload: s.cfg.PacketSize - units.HeaderSize,
-		ECT:     true,
-		Service: s.service,
-		SentAt:  s.eng.Now(),
-	}
+	p := pkt.Get()
+	p.ID = s.nextPktID
+	p.Flow = s.flow
+	p.Src = s.host.NodeID()
+	p.Dst = s.dst
+	p.Size = s.cfg.PacketSize
+	p.Payload = s.cfg.PacketSize - units.HeaderSize
+	p.ECT = true
+	p.Service = s.service
+	p.SentAt = s.eng.Now()
+	size := p.Size
 	s.host.Send(p)
-	s.sent += int64(p.Size)
-	gap := units.Serialization(p.Size, units.Rate(s.rc))
-	s.sendTimer = s.eng.Schedule(gap, s.sendNext)
+	s.sent += int64(size)
+	gap := units.Serialization(size, units.Rate(s.rc))
+	s.sendTimer = s.eng.ScheduleCall(gap, dcqcnSend, s)
 }
 
 // handleCNP reacts to a congestion notification: cut the rate using the
-// current alpha and restart recovery.
+// current alpha and restart recovery. The CNP is consumed here and
+// returns to the pool.
 func (s *DCQCNSender) handleCNP(p *pkt.Packet) {
+	defer pkt.Release(p)
 	if !p.IsAck || !p.ECE || !s.running {
 		return
 	}
@@ -261,6 +265,7 @@ func (r *DCQCNReceiver) CEMarked() int64 { return r.ceCount }
 func (r *DCQCNReceiver) Close() { r.host.Detach(r.flow) }
 
 func (r *DCQCNReceiver) handleData(p *pkt.Packet) {
+	defer pkt.Release(p)
 	if p.IsAck {
 		return
 	}
@@ -276,16 +281,15 @@ func (r *DCQCNReceiver) handleData(p *pkt.Packet) {
 	r.lastCNP = now
 	r.sentCNP = true
 	r.nextPktID++
-	cnp := &pkt.Packet{
-		ID:      r.nextPktID,
-		Flow:    r.flow,
-		Src:     r.host.NodeID(),
-		Dst:     r.src,
-		Size:    units.AckSize,
-		IsAck:   true,
-		ECE:     true,
-		Service: r.service,
-		Echo:    p.SentAt,
-	}
+	cnp := pkt.Get()
+	cnp.ID = r.nextPktID
+	cnp.Flow = r.flow
+	cnp.Src = r.host.NodeID()
+	cnp.Dst = r.src
+	cnp.Size = units.AckSize
+	cnp.IsAck = true
+	cnp.ECE = true
+	cnp.Service = r.service
+	cnp.Echo = p.SentAt
 	r.host.Send(cnp)
 }

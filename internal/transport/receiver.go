@@ -38,7 +38,7 @@ type Receiver struct {
 	ceState  bool          // CE value of the run being coalesced
 	pending  int           // data packets since the last ACK
 	lastEcho time.Duration
-	flushT   *sim.Timer
+	flushT   sim.Timer
 
 	nextPktID uint64
 }
@@ -92,7 +92,11 @@ func (r *Receiver) CEMarked() int64 { return r.ceCount }
 // Close detaches the receiver from its host.
 func (r *Receiver) Close() { r.host.Detach(r.flow) }
 
+// handleData consumes a data packet: everything the receiver needs
+// (sequence, payload length, CE, echo timestamp) is copied out, so the
+// packet returns to the pool when handling completes.
 func (r *Receiver) handleData(p *pkt.Packet) {
+	defer pkt.Release(p)
 	if p.IsAck {
 		return
 	}
@@ -151,37 +155,40 @@ func (r *Receiver) handleData(p *pkt.Packet) {
 	}
 	// Arm the flush timer so a held ACK (e.g. a flow's final odd
 	// segment) escapes without waiting for the sender's RTO.
-	if r.flushT == nil || !r.flushT.Active() {
-		r.flushT = r.eng.Schedule(r.ackDelay, func() {
-			if r.pending > 0 {
-				r.sendAck(r.rcvNxt, r.ceState, r.lastEcho)
-				r.pending = 0
-			}
-		})
+	if !r.flushT.Active() {
+		r.flushT = r.eng.ScheduleCall(r.ackDelay, receiverFlush, r)
+	}
+}
+
+// receiverFlush is the delayed-ACK flush trampoline (the receiver rides
+// in the event arg so arming the timer never allocates).
+func receiverFlush(arg any) {
+	r := arg.(*Receiver)
+	if r.pending > 0 {
+		r.sendAck(r.rcvNxt, r.ceState, r.lastEcho)
+		r.pending = 0
 	}
 }
 
 // resetPending clears the coalescing state and any armed flush timer.
 func (r *Receiver) resetPending() {
 	r.pending = 0
-	if r.flushT != nil {
-		r.flushT.Cancel()
-	}
+	r.flushT.Cancel()
 }
 
 // sendAck emits a cumulative ACK up to ackNo with the given ECE echo.
 func (r *Receiver) sendAck(ackNo int64, ece bool, echo time.Duration) {
 	r.nextPktID++
-	r.host.Send(&pkt.Packet{
-		ID:      r.nextPktID,
-		Flow:    r.flow,
-		Src:     r.host.NodeID(),
-		Dst:     r.src,
-		Size:    units.AckSize,
-		IsAck:   true,
-		AckNo:   ackNo,
-		ECE:     ece,
-		Service: r.service,
-		Echo:    echo,
-	})
+	p := pkt.Get()
+	p.ID = r.nextPktID
+	p.Flow = r.flow
+	p.Src = r.host.NodeID()
+	p.Dst = r.src
+	p.Size = units.AckSize
+	p.IsAck = true
+	p.AckNo = ackNo
+	p.ECE = ece
+	p.Service = r.service
+	p.Echo = echo
+	r.host.Send(p)
 }

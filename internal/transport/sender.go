@@ -38,13 +38,13 @@ type Sender struct {
 	recovering     bool
 	recoverSeq     int64
 
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
 	rtoBackoff int
 	srtt       time.Duration
 
 	// Pacing state for rate-limited senders.
 	nextSendAt time.Duration
-	paceTimer  *sim.Timer
+	paceTimer  sim.Timer
 
 	lastRTT time.Duration
 	minRTT  time.Duration
@@ -187,18 +187,17 @@ func (s *Sender) segmentLen(seq int64) int64 {
 func (s *Sender) sendSegment(seq int64, retx bool) {
 	payload := s.segmentLen(seq)
 	s.nextPktID++
-	p := &pkt.Packet{
-		ID:      s.nextPktID,
-		Flow:    s.flow,
-		Src:     s.host.NodeID(),
-		Dst:     s.dst,
-		Size:    int(payload) + units.HeaderSize,
-		Payload: int(payload),
-		Seq:     seq,
-		ECT:     !s.cfg.DisableECN,
-		Service: s.service,
-		SentAt:  s.eng.Now(),
-	}
+	p := pkt.Get()
+	p.ID = s.nextPktID
+	p.Flow = s.flow
+	p.Src = s.host.NodeID()
+	p.Dst = s.dst
+	p.Size = int(payload) + units.HeaderSize
+	p.Payload = int(payload)
+	p.Seq = seq
+	p.ECT = !s.cfg.DisableECN
+	p.Service = s.service
+	p.SentAt = s.eng.Now()
 	if retx {
 		s.retransmits++
 	}
@@ -212,17 +211,26 @@ func (s *Sender) sendSegment(seq int64, retx bool) {
 	s.host.Send(p)
 }
 
+// senderPace and senderRTO are the shared timer trampolines: the sender
+// itself rides in the event arg, so (re)arming the per-packet pacing
+// and retransmission timers never allocates.
+func senderPace(arg any) { arg.(*Sender).trySend() }
+func senderRTO(arg any)  { arg.(*Sender).onRTO() }
+
 // schedulePace arms a timer to resume sending when pacing allows.
 func (s *Sender) schedulePace() {
-	if s.paceTimer != nil && s.paceTimer.Active() {
+	if s.paceTimer.Active() {
 		return
 	}
 	delay := s.nextSendAt - s.eng.Now()
-	s.paceTimer = s.eng.Schedule(delay, s.trySend)
+	s.paceTimer = s.eng.ScheduleCall(delay, senderPace, s)
 }
 
-// handleAck processes an incoming (cumulative) acknowledgement.
+// handleAck processes an incoming (cumulative) acknowledgement. The
+// sender is the ACK's terminal consumer: the packet returns to the pool
+// when handling completes.
 func (s *Sender) handleAck(p *pkt.Packet) {
+	defer pkt.Release(p)
 	if !p.IsAck || s.finished {
 		return
 	}
@@ -348,10 +356,7 @@ func (s *Sender) onDupAck() {
 
 // armRTO (re)schedules the retransmission timer while data is in flight.
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
 	if s.inflight() == 0 || s.finished {
 		return
 	}
@@ -360,7 +365,7 @@ func (s *Sender) armRTO() {
 		rto = est
 	}
 	rto <<= s.rtoBackoff
-	s.rtoTimer = s.eng.Schedule(rto, s.onRTO)
+	s.rtoTimer = s.eng.ScheduleCall(rto, senderRTO, s)
 }
 
 // onRTO handles a retransmission timeout: go-back-N restart from sndUna
@@ -391,12 +396,8 @@ func (s *Sender) onRTO() {
 func (s *Sender) complete() {
 	s.finished = true
 	s.fct = s.eng.Now() - s.startedAt
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
-	if s.paceTimer != nil {
-		s.paceTimer.Cancel()
-	}
+	s.rtoTimer.Cancel()
+	s.paceTimer.Cancel()
 	if s.onComplete != nil {
 		s.onComplete(s)
 	}

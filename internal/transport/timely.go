@@ -87,7 +87,7 @@ type TimelySender struct {
 	decisions int64
 
 	nextPktID uint64
-	sendTimer *sim.Timer
+	sendTimer sim.Timer
 }
 
 // NewTimelySender creates a TIMELY source at src targeting dst.
@@ -121,9 +121,7 @@ func (s *TimelySender) Stop() {
 		return
 	}
 	s.running = false
-	if s.sendTimer != nil {
-		s.sendTimer.Cancel()
-	}
+	s.sendTimer.Cancel()
 	s.host.Detach(s.flow)
 }
 
@@ -139,29 +137,35 @@ func (s *TimelySender) Decisions() int64 { return s.decisions }
 // MinRTT returns the lowest RTT observed.
 func (s *TimelySender) MinRTT() time.Duration { return s.minRTT }
 
+// timelySend is the pacing trampoline (the sender rides in the event
+// arg, so per-packet pacing never allocates).
+func timelySend(arg any) { arg.(*TimelySender).sendNext() }
+
 func (s *TimelySender) sendNext() {
 	if !s.running {
 		return
 	}
 	s.nextPktID++
-	p := &pkt.Packet{
-		ID:      s.nextPktID,
-		Flow:    s.flow,
-		Src:     s.host.NodeID(),
-		Dst:     s.dst,
-		Size:    s.cfg.PacketSize,
-		Payload: s.cfg.PacketSize - units.HeaderSize,
-		Service: s.service,
-		SentAt:  s.eng.Now(),
-	}
+	p := pkt.Get()
+	p.ID = s.nextPktID
+	p.Flow = s.flow
+	p.Src = s.host.NodeID()
+	p.Dst = s.dst
+	p.Size = s.cfg.PacketSize
+	p.Payload = s.cfg.PacketSize - units.HeaderSize
+	p.Service = s.service
+	p.SentAt = s.eng.Now()
+	size := p.Size
 	s.host.Send(p)
-	s.sent += int64(p.Size)
-	gap := units.Serialization(p.Size, units.Rate(s.rate))
-	s.sendTimer = s.eng.Schedule(gap, s.sendNext)
+	s.sent += int64(size)
+	gap := units.Serialization(size, units.Rate(s.rate))
+	s.sendTimer = s.eng.ScheduleCall(gap, timelySend, s)
 }
 
-// handleAck applies the TIMELY decision for each RTT sample.
+// handleAck applies the TIMELY decision for each RTT sample and
+// releases the consumed ACK.
 func (s *TimelySender) handleAck(p *pkt.Packet) {
+	defer pkt.Release(p)
 	if !p.IsAck || !s.running {
 		return
 	}
@@ -225,19 +229,20 @@ func (r *TimelyReceiver) RxBytes() int64 { return r.rxBytes }
 func (r *TimelyReceiver) Close() { r.host.Detach(r.flow) }
 
 func (r *TimelyReceiver) handleData(p *pkt.Packet) {
+	defer pkt.Release(p)
 	if p.IsAck {
 		return
 	}
 	r.rxBytes += int64(p.Payload)
 	r.nextPktID++
-	r.host.Send(&pkt.Packet{
-		ID:      r.nextPktID,
-		Flow:    r.flow,
-		Src:     r.host.NodeID(),
-		Dst:     r.src,
-		Size:    units.AckSize,
-		IsAck:   true,
-		Service: r.service,
-		Echo:    p.SentAt,
-	})
+	ack := pkt.Get()
+	ack.ID = r.nextPktID
+	ack.Flow = r.flow
+	ack.Src = r.host.NodeID()
+	ack.Dst = r.src
+	ack.Size = units.AckSize
+	ack.IsAck = true
+	ack.Service = r.service
+	ack.Echo = p.SentAt
+	r.host.Send(ack)
 }

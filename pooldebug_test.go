@@ -1,0 +1,54 @@
+package pmsb_test
+
+import (
+	"testing"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+	"pmsb/internal/topo"
+	"pmsb/internal/transport"
+	"pmsb/internal/units"
+)
+
+// TestPoolDebugEndToEnd runs a complete DCTCP transfer (transport,
+// scheduler, marking, pooled packets end to end) with the packet pool's
+// poison mode on. Any ownership violation — a component using a packet
+// after its terminal consumer released it, or releasing twice — either
+// panics immediately or corrupts the transfer so the flow cannot
+// complete with the expected byte count.
+func TestPoolDebugEndToEnd(t *testing.T) {
+	pkt.SetPoolDebug(true)
+	defer pkt.SetPoolDebug(false)
+
+	eng := sim.NewEngine()
+	d := topo.NewDumbbell(eng, topo.DumbbellConfig{
+		Senders: 2,
+		Bottleneck: topo.PortProfile{
+			Weights:   topo.EqualWeights(1),
+			NewSched:  topo.FIFOFactory(),
+			NewMarker: func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+		},
+	})
+	const size = 300_000
+	completed := 0
+	var flows []*transport.Flow
+	for i := 0; i < 2; i++ {
+		f := transport.NewFlow(eng, d.Senders[i], d.Recv, pkt.FlowID(i+1), 0, size,
+			transport.Config{}, func(*transport.Sender) { completed++ })
+		flows = append(flows, f)
+		f.Sender.Start()
+	}
+	eng.RunUntil(2 * time.Second)
+
+	if completed != 2 {
+		t.Fatalf("completed %d/2 flows under pool debug mode", completed)
+	}
+	for i, f := range flows {
+		if got := f.Receiver.Goodput(); got != size {
+			t.Fatalf("flow %d goodput = %d, want %d (poisoned packet leaked into delivery?)", i, got, size)
+		}
+	}
+}
