@@ -1,7 +1,14 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into a stable JSON file mapping benchmark name to its metrics, so the
-// repository can track the perf trajectory across PRs (BENCH_1.json is
-// the first recorded point; `make bench` regenerates it).
+// repository can track the perf trajectory across PRs (BENCH_1.json was
+// the first recorded point, BENCH_2.json the current one; `make bench`
+// regenerates it).
+//
+// With -baseline FILE the run is also compared against an earlier
+// report: per-benchmark ns/op deltas are printed and regressions beyond
+// -tolerance are flagged. The comparison is fail-soft — it never sets a
+// non-zero exit status — because shared runners make timings noisy;
+// treat it as a trend line, not a gate.
 //
 // Input lines it understands look like:
 //
@@ -36,14 +43,16 @@ type Metrics struct {
 
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout only)")
+	baseline := flag.String("baseline", "", "compare ns/op against this earlier report (fail-soft: never changes the exit status)")
+	tolerance := flag.Float64("tolerance", 10, "flag regressions beyond this percentage in the -baseline comparison")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *baseline, *tolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, echo io.Writer, outPath string) error {
+func run(in io.Reader, echo io.Writer, outPath, baselinePath string, tolerance float64) error {
 	results, err := parse(in, echo)
 	if err != nil {
 		return err
@@ -57,13 +66,58 @@ func run(in io.Reader, echo io.Writer, outPath string) error {
 	}
 	if outPath == "" {
 		fmt.Fprintln(echo, body)
-		return nil
+	} else {
+		if err := os.WriteFile(outPath, []byte(body+"\n"), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", outPath, err)
+		}
+		fmt.Fprintf(echo, "benchjson: wrote %d benchmarks to %s\n", len(results), outPath)
 	}
-	if err := os.WriteFile(outPath, []byte(body+"\n"), 0o644); err != nil {
-		return fmt.Errorf("write %s: %w", outPath, err)
+	if baselinePath != "" {
+		compare(echo, results, baselinePath, tolerance)
 	}
-	fmt.Fprintf(echo, "benchjson: wrote %d benchmarks to %s\n", len(results), outPath)
 	return nil
+}
+
+// compare prints per-benchmark ns/op deltas against an earlier report.
+// Every failure mode (missing file, bad JSON, new benchmark) degrades
+// to a note instead of an error so a perf trend can never block a
+// functional build.
+func compare(echo io.Writer, results map[string]Metrics, baselinePath string, tolerance float64) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(echo, "benchjson: no baseline comparison (%v)\n", err)
+		return
+	}
+	var base map[string]Metrics
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(echo, "benchjson: no baseline comparison (parse %s: %v)\n", baselinePath, err)
+		return
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressions := 0
+	fmt.Fprintf(echo, "benchjson: comparison vs %s (tolerance %.0f%%)\n", baselinePath, tolerance)
+	for _, n := range names {
+		cur := results[n]
+		b, ok := base[n]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Fprintf(echo, "  %-40s %10.2f ns/op  (no baseline)\n", n, cur.NsPerOp)
+			continue
+		}
+		delta := (cur.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		flag := ""
+		if delta > tolerance {
+			flag = "  ** regression **"
+			regressions++
+		}
+		fmt.Fprintf(echo, "  %-40s %10.2f ns/op  %+6.1f%%%s\n", n, cur.NsPerOp, delta, flag)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(echo, "benchjson: %d benchmark(s) beyond tolerance — investigate before trusting this machine's numbers\n", regressions)
+	}
 }
 
 // parse scans the stream for benchmark result lines, echoing every line

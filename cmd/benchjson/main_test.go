@@ -48,7 +48,7 @@ func TestParseLineRejectsNonBenchmarks(t *testing.T) {
 func TestRunWritesSortedJSON(t *testing.T) {
 	outPath := filepath.Join(t.TempDir(), "bench.json")
 	var echo strings.Builder
-	if err := run(strings.NewReader(sample), &echo, outPath); err != nil {
+	if err := run(strings.NewReader(sample), &echo, outPath, "", 10); err != nil {
 		t.Fatal(err)
 	}
 	// The pipe stays transparent: every input line is echoed.
@@ -83,7 +83,67 @@ func TestRunWritesSortedJSON(t *testing.T) {
 
 func TestRunNoBenchmarks(t *testing.T) {
 	var echo strings.Builder
-	if err := run(strings.NewReader("PASS\n"), &echo, ""); err == nil {
+	if err := run(strings.NewReader("PASS\n"), &echo, "", "", 10); err == nil {
 		t.Fatal("expected error when no benchmark lines present")
+	}
+}
+
+// TestBaselineCompare: the -baseline report prints per-benchmark
+// deltas, flags regressions beyond tolerance, and degrades to a note —
+// never an error — when the baseline is missing or unreadable.
+func TestBaselineCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	// Baseline: forwarding at 100 ns, no entry for DCTCPFlow's name.
+	if err := os.WriteFile(base, []byte(`{"BenchmarkPacketForwarding":{"iterations":1,"ns_per_op":100}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := "BenchmarkPacketForwarding-8 1000 255.2 ns/op 0 B/op 0 allocs/op\n" +
+		"BenchmarkDCTCPFlow 10 5000 ns/op\n"
+	var echo strings.Builder
+	if err := run(strings.NewReader(in), &echo, "", base, 10); err != nil {
+		t.Fatalf("comparison must be fail-soft: %v", err)
+	}
+	out := echo.String()
+	if !strings.Contains(out, "+155.2%") || !strings.Contains(out, "** regression **") {
+		t.Fatalf("regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "(no baseline)") {
+		t.Fatalf("new benchmark not noted:\n%s", out)
+	}
+	if !strings.Contains(out, "1 benchmark(s) beyond tolerance") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+
+	// Within tolerance: no flags.
+	echo.Reset()
+	in = "BenchmarkPacketForwarding-8 1000 104 ns/op\n"
+	if err := run(strings.NewReader(in), &echo, "", base, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(echo.String(), "regression") {
+		t.Fatalf("4%% delta flagged at 10%% tolerance:\n%s", echo.String())
+	}
+
+	// Missing baseline file: still no error.
+	echo.Reset()
+	if err := run(strings.NewReader(in), &echo, "", filepath.Join(dir, "absent.json"), 10); err != nil {
+		t.Fatalf("missing baseline must be fail-soft: %v", err)
+	}
+	if !strings.Contains(echo.String(), "no baseline comparison") {
+		t.Fatalf("missing-baseline note absent:\n%s", echo.String())
+	}
+
+	// Corrupt baseline: fail-soft too.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	echo.Reset()
+	if err := run(strings.NewReader(in), &echo, "", bad, 10); err != nil {
+		t.Fatalf("corrupt baseline must be fail-soft: %v", err)
+	}
+	if !strings.Contains(echo.String(), "no baseline comparison") {
+		t.Fatalf("corrupt-baseline note absent:\n%s", echo.String())
 	}
 }

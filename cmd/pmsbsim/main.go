@@ -9,6 +9,7 @@
 //	pmsbsim -experiment fct-dwrr -quick -seed 7
 //	pmsbsim -experiment fig11 -series  # include plot-ready time series
 //	pmsbsim -experiment fig9 -format json -out fig9.json
+//	pmsbsim -experiment fig8 -tracefile fig8.jsonl -metrics fig8.metrics
 //
 // TSV output carries '#'-prefixed notes with the paper-shape
 // observations and ends with a '# summary' manifest block (per-
@@ -21,6 +22,12 @@
 // output payload is byte-identical at any job count because every
 // engine is deterministic and results are reassembled in registration
 // order. Only the wall times in the summary block vary.
+//
+// -tracefile and -metrics enable the observability layer: the run's
+// event trace is exported as JSONL (one event per line, analyzable with
+// pmsbstat) and the metrics registry as a name<TAB>value dump. The bus
+// is unsynchronized, so tracing requires a single experiment and forces
+// -jobs 1 / -repeats 1.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"strings"
 
 	"pmsb/internal/experiment"
+	"pmsb/internal/obs"
 )
 
 func main() {
@@ -47,19 +55,22 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pmsbsim", flag.ContinueOnError)
 	var (
-		id      = fs.String("experiment", "", "experiment ID (or comma-separated IDs) to run (see -list)")
-		list    = fs.Bool("list", false, "list all experiments")
-		all     = fs.Bool("all", false, "run every experiment")
-		quick   = fs.Bool("quick", false, "shorter runs (reduced durations and flow counts)")
-		seed    = fs.Int64("seed", 1, "random seed")
-		repeats = fs.Int("repeats", 1, "repeat randomized sweeps with consecutive seeds and pool the samples")
-		series  = fs.Bool("series", false, "include plot-ready time series in the output")
-		format  = fs.String("format", "tsv", "output format: tsv or json")
-		out     = fs.String("out", "", "write output to this file instead of stdout")
-		jobs    = fs.Int("jobs", runtime.NumCPU(), "max experiments simulated in parallel (payload is identical at any value)")
-		summary = fs.Bool("summary", true, "append the run manifest as a trailing '# summary' block (tsv only)")
-		cpuprof = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
-		memprof = fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
+		id        = fs.String("experiment", "", "experiment ID (or comma-separated IDs) to run (see -list)")
+		list      = fs.Bool("list", false, "list all experiments")
+		all       = fs.Bool("all", false, "run every experiment")
+		quick     = fs.Bool("quick", false, "shorter runs (reduced durations and flow counts)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		repeats   = fs.Int("repeats", 1, "repeat randomized sweeps with consecutive seeds and pool the samples")
+		series    = fs.Bool("series", false, "include plot-ready time series in the output")
+		format    = fs.String("format", "tsv", "output format: tsv or json")
+		out       = fs.String("out", "", "write output to this file instead of stdout")
+		jobs      = fs.Int("jobs", runtime.NumCPU(), "max experiments simulated in parallel (payload is identical at any value)")
+		summary   = fs.Bool("summary", true, "append the run manifest as a trailing '# summary' block (tsv only)")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
+		memprof   = fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
+		tracefile = fs.String("tracefile", "", "export the observability event trace as JSONL to this file (single experiment only; forces -jobs 1)")
+		tracebuf  = fs.Int("tracebuf", 1<<20, "trace ring capacity in events; the ring keeps the newest events")
+		metrics   = fs.String("metrics", "", "write the metrics registry dump to this file (single experiment only; forces -jobs 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -135,10 +146,35 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opt := experiment.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	tracing := *tracefile != "" || *metrics != ""
+	if tracing {
+		// The bus is not synchronized: restrict tracing to one serially
+		// run experiment so every emit comes from a single goroutine.
+		if len(specs) != 1 {
+			return fmt.Errorf("-tracefile/-metrics require exactly one experiment (got %d)", len(specs))
+		}
+		if *repeats > 1 {
+			return fmt.Errorf("-tracefile/-metrics require -repeats 1 (got %d)", *repeats)
+		}
+		*jobs = 1
+		ringCap := *tracebuf
+		if ringCap < 1 {
+			ringCap = 1
+		}
+		if *tracefile == "" {
+			ringCap = 0 // metrics only: skip the event ring entirely
+		}
+		opt.Obs = obs.NewBus(ringCap)
+	}
 	// On failure results hold the completed prefix (everything before
 	// the earliest failing experiment), which is still printed — the
 	// same partial output a serial run would have produced.
 	results, manifest, runErr := experiment.RunMany(specs, opt, *jobs)
+	if tracing && runErr == nil {
+		if err := writeTrace(opt.Obs, *tracefile, *metrics); err != nil {
+			return err
+		}
+	}
 	if !*series {
 		for _, res := range results {
 			res.Series = nil
@@ -159,6 +195,38 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return runErr
+}
+
+// writeTrace exports the bus: the event ring as JSONL and/or the
+// metrics registry as a tab-separated dump.
+func writeTrace(bus *obs.Bus, tracefile, metrics string) error {
+	if tracefile != "" {
+		f, err := os.Create(tracefile)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		if err := bus.Ring().WriteJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close trace file: %w", err)
+		}
+	}
+	if metrics != "" {
+		f, err := os.Create(metrics)
+		if err != nil {
+			return fmt.Errorf("create metrics file: %w", err)
+		}
+		if _, err := bus.Metrics().WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close metrics file: %w", err)
+		}
+	}
+	return nil
 }
 
 // writeJSON emits one bare object for a single requested experiment

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pmsb/internal/obs"
 )
 
 func capture(t *testing.T, args ...string) (string, error) {
@@ -201,5 +203,64 @@ func TestJobsDeterminism(t *testing.T) {
 	}
 	if !strings.Contains(serial, "# table1:") || !strings.Contains(serial, "# ablation-average:") {
 		t.Fatalf("determinism sample incomplete:\n%s", serial)
+	}
+}
+
+// TestTraceExport drives the observability path end to end: a traced
+// fig8 run must produce a parseable JSONL event trace covering the
+// bottleneck port and a metrics dump naming its per-queue counters.
+func TestTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "fig8.jsonl")
+	metrics := filepath.Join(dir, "fig8.metrics")
+	if _, err := capture(t, "-experiment", "fig8", "-quick",
+		"-tracefile", trace, "-metrics", metrics); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	kinds := obs.CountKinds(events)
+	for _, k := range []obs.Kind{obs.KindEnqueue, obs.KindDequeue, obs.KindMark, obs.KindFlowStart} {
+		if kinds[k] == 0 {
+			t.Errorf("trace has no %v events", k)
+		}
+	}
+	// fig8 runs PMSB on a two-queue port: the selective-blindness filter
+	// must fire (queue 1's single flow stays under its share).
+	if kinds[obs.KindBlind] == 0 {
+		t.Error("trace has no blind events (PMSB filter never engaged)")
+	}
+
+	m, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	for _, want := range []string{"port.1000.0.tx_pkts", "port.1000.0.q1.marks", "pmsb.blind_suppressions", "flows.started\t5"} {
+		if !strings.Contains(string(m), want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestTraceRestrictions: tracing an unsynchronized bus must refuse
+// multi-experiment and multi-repeat invocations.
+func TestTraceRestrictions(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "t.jsonl")
+	if _, err := capture(t, "-experiment", "table1,fig5", "-quick", "-tracefile", trace); err == nil {
+		t.Error("tracing two experiments must fail")
+	}
+	if _, err := capture(t, "-experiment", "fig8", "-quick", "-repeats", "3", "-tracefile", trace); err == nil {
+		t.Error("tracing with -repeats > 1 must fail")
 	}
 }

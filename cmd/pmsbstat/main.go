@@ -1,0 +1,175 @@
+// Command pmsbstat analyzes a JSONL event trace exported by
+// pmsbsim -tracefile, reconstructing the quantities the paper plots
+// without rerunning the simulation:
+//
+//   - event counts by kind and trace segment count,
+//   - per-queue occupancy percentiles at every observed port,
+//   - the mark-rate timeline (marks and dequeues per time bin),
+//   - the top flows by bytes with their congestion telemetry.
+//
+// Examples:
+//
+//	pmsbsim -experiment fig8 -quick -tracefile fig8.jsonl
+//	pmsbstat fig8.jsonl                    # full report
+//	pmsbstat -bin 500us fig8.jsonl         # finer mark-rate bins
+//	pmsbstat -top 3 -depth=false fig8.jsonl
+//
+// Because trace events carry absolute occupancy, every statistic here
+// is exact over the trace window even when the ring buffer wrapped and
+// only the newest events survived.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"pmsb/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsbstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pmsbstat", flag.ContinueOnError)
+	var (
+		bin    = fs.Duration("bin", time.Millisecond, "bin width of the mark-rate timeline")
+		top    = fs.Int("top", 10, "flows to list in the per-flow table (by bytes; 0 disables)")
+		depth  = fs.Bool("depth", true, "print per-queue occupancy percentiles")
+		marks  = fs.Bool("marks", true, "print the mark-rate timeline")
+		counts = fs.Bool("counts", true, "print event counts by kind")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: pmsbstat [flags] trace.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one trace file is required (got %d args)", fs.NArg())
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("read trace: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace %s holds no events", fs.Arg(0))
+	}
+
+	report(stdout, events, *bin, *top, *depth, *marks, *counts)
+	return nil
+}
+
+// report prints the selected sections. Everything derives from the
+// event slice via the analysis helpers in internal/obs.
+func report(w io.Writer, events []obs.Event, bin time.Duration, top int, depth, marks, counts bool) {
+	fmt.Fprintf(w, "# trace: %d events, %s span", len(events), span(events))
+	if segs := obs.Segments(events); segs > 1 {
+		fmt.Fprintf(w, ", %d segments (virtual time restarts; multi-run trace)", segs)
+	}
+	fmt.Fprintln(w)
+
+	if counts {
+		fmt.Fprintln(w, "\n## events by kind")
+		byKind := obs.CountKinds(events)
+		for _, k := range obs.Kinds() {
+			if n, ok := byKind[k]; ok {
+				fmt.Fprintf(w, "%-12s\t%d\n", k, n)
+			}
+		}
+	}
+
+	if depth {
+		fmt.Fprintln(w, "\n## queue depth (bytes sampled at enqueue/dequeue)")
+		fmt.Fprintln(w, "node\tport\tqueue\tsamples\tmean\tp50\tp90\tp99\tmax")
+		sums, keys := obs.DepthSummaries(events)
+		for _, k := range keys {
+			s := sums[k]
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				k.Node, k.Port, k.Queue, s.Count(), s.Mean(),
+				s.Percentile(50), s.Percentile(90), s.Percentile(99), s.Max())
+		}
+	}
+
+	if marks {
+		fmt.Fprintf(w, "\n## mark rate per %s bin (marks / dequeued packets)\n", bin)
+		fmt.Fprintln(w, "t_ms\tmarks\tdequeues\tmark_frac")
+		ms, dq := obs.MarkSeries(events, bin)
+		bins := dq.Bins()
+		if ms.Bins() > bins {
+			bins = ms.Bins()
+		}
+		for i := 0; i < bins; i++ {
+			m, d := ms.Value(i), dq.Value(i)
+			frac := 0.0
+			if d > 0 {
+				frac = m / d
+			}
+			fmt.Fprintf(w, "%.3f\t%.0f\t%.0f\t%.3f\n",
+				float64(int64(bin)*int64(i))/1e6, m, d, frac)
+		}
+	}
+
+	if top > 0 {
+		fmt.Fprintf(w, "\n## top %d flows by bytes\n", top)
+		fmt.Fprintln(w, "flow\tservice\tbytes\tmarks\tcuts\tretx\trtos\talpha\tfct")
+		recs := obs.FlowsFromEvents(events)
+		for _, r := range topFlows(recs, top) {
+			fct := "-"
+			if r.Finished {
+				fct = r.FCT.String()
+			}
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\t%s\n",
+				r.Flow, r.Service, r.Bytes, r.MarksSeen,
+				r.CwndCuts, r.Retransmits, r.RTOs, r.LastAlpha, fct)
+		}
+	}
+}
+
+// topFlows sorts records by descending bytes (flow-ID tiebreak) and
+// truncates to k.
+func topFlows(recs []*obs.FlowRecord, k int) []*obs.FlowRecord {
+	out := append([]*obs.FlowRecord(nil), recs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// span formats the trace's covered virtual-time window.
+func span(events []obs.Event) time.Duration {
+	min, max := events[0].T, events[0].T
+	for i := range events {
+		if events[i].T < min {
+			min = events[i].T
+		}
+		if events[i].T > max {
+			max = events[i].T
+		}
+	}
+	return max - min
+}

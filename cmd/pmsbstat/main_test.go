@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pmsb/internal/obs"
+	"pmsb/internal/pkt"
+)
+
+// writeTrace synthesizes a small two-queue trace with a known shape and
+// returns its path: queue 0 oscillates around 3000 bytes, queue 1 around
+// 1500, with one mark and a two-flow lifecycle.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	bus := obs.NewBus(1024)
+	probe := bus.ObservePort(obs.PortID{Node: 1000, Port: 0}, 2)
+	fp := bus.OpenFlow(0, 7, 0, 9000)
+	p := &pkt.Packet{Flow: 7, ID: 1, Size: 1500}
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * time.Millisecond
+		probe.Enqueue(at, 0, p, 4500, 3000)
+		probe.Enqueue(at, 1, p, 4500, 1500)
+		probe.Dequeue(at+time.Millisecond/2, 0, p, 3000, 1500)
+	}
+	probe.Mark(5*time.Millisecond, 0, p, 4500, 3000)
+	fp.Finish(9*time.Millisecond, 9*time.Millisecond, 9000)
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := bus.Ring().WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestReport(t *testing.T) {
+	out, err := capture(t, writeTrace(t))
+	if err != nil {
+		t.Fatalf("pmsbstat: %v", err)
+	}
+	for _, want := range []string{
+		"## events by kind",
+		"enqueue", "dequeue", "mark", "flow-finish",
+		"## queue depth",
+		"## mark rate",
+		"## top 10 flows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Queue 0's depth samples are 3000 (enqueue) and 1500 (dequeue); its
+	// max must be 3000, queue 1's 1500.
+	if !strings.Contains(out, "1000\t0\t0\t") || !strings.Contains(out, "\t3000\n") {
+		t.Errorf("queue-0 depth row wrong:\n%s", out)
+	}
+	// Flow 7 finished with 9000 bytes and a 9ms FCT.
+	if !strings.Contains(out, "7\t0\t9000\t1\t") || !strings.Contains(out, "9ms") {
+		t.Errorf("flow row wrong:\n%s", out)
+	}
+}
+
+func TestSectionFlags(t *testing.T) {
+	trace := writeTrace(t)
+	out, err := capture(t, "-depth=false", "-marks=false", "-counts=false", "-top", "0", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"## queue depth", "## mark rate", "## events by kind", "## top"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("section %q not suppressed:\n%s", banned, out)
+		}
+	}
+	if !strings.Contains(out, "# trace:") {
+		t.Errorf("header missing:\n%s", out)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := capture(t); err == nil {
+		t.Error("no args must fail")
+	}
+	if _, err := capture(t, filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file must fail")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, empty); err == nil {
+		t.Error("empty trace must fail")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"pmsb/internal/ecn"
+	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/units"
 )
@@ -46,6 +47,10 @@ type PMSB struct {
 	// values above 1 more conservative (refuse more marks, risking
 	// latency). 0 means 1.
 	ThresholdScale float64
+	// Obs, when non-nil, receives a blindness event each time the port
+	// threshold is exceeded but the per-queue filter refuses the mark —
+	// the suppressions that distinguish PMSB from plain per-port marking.
+	Obs *obs.Bus
 }
 
 var _ ecn.Marker = (*PMSB)(nil)
@@ -66,7 +71,16 @@ func (m *PMSB) ShouldMark(pv ecn.PortView, q int, p *pkt.Packet) bool {
 	if pv.PortBytes() < m.PortK {
 		return false
 	}
-	return float64(pv.QueueBytes(q)) >= m.QueueThreshold(pv.Weight(q), pv.WeightSum())
+	thresh := m.QueueThreshold(pv.Weight(q), pv.WeightSum())
+	if float64(pv.QueueBytes(q)) >= thresh {
+		return true
+	}
+	// Port over threshold but queue under its filter: this is the
+	// selective-blindness case — per-port marking would have marked here.
+	if m.Obs != nil {
+		m.Obs.Blind(pv.Now(), q, pv.PortBytes(), pv.QueueBytes(q), thresh)
+	}
+	return false
 }
 
 // QueueThreshold returns the per-queue filter threshold (Eq. 6, times

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"pmsb/internal/obs"
 	"pmsb/internal/sim"
 )
 
@@ -27,6 +28,12 @@ type Options struct {
 	// with consecutive seeds and reports cross-seed means (default 1).
 	// Deterministic experiments ignore it.
 	Repeats int
+
+	// Obs, when non-nil, attaches the observability bus to the
+	// experiment's bottleneck port, markers and transports. The bus is
+	// not synchronized: use it only with serial runs (RunMany jobs=1,
+	// Repeats=1).
+	Obs *obs.Bus
 
 	// pool, set by RunMany, lets the repeat loops of randomized sweeps
 	// borrow idle workers for per-seed fan-out (see eachRepeat).

@@ -91,6 +91,10 @@ func runStatic(cfg staticConfig) *staticRun {
 		Delay:          cfg.delay,
 		Bottleneck:     cfg.profile,
 	})
+	// Attach the bottleneck port (index 0 of the switch) to the
+	// observability bus; the access and return ports stay unobserved so
+	// traces capture exactly the contended queue the figures plot.
+	d.Bottleneck.Observe(cfg.opt.Obs, d.Switch.NodeID(), 0)
 
 	r := &staticRun{d: d, cfg: cfg, nQueues: len(cfg.profile.Weights)}
 	r.series = make([]*stats.TimeSeries, r.nQueues)
@@ -111,7 +115,8 @@ func runStatic(cfg staticConfig) *staticRun {
 		g := g
 		flows := make([]*transport.Flow, 0, g.count)
 		for i := 0; i < g.count; i++ {
-			tc := transport.Config{RateLimit: g.rateLimit, InitWindow: cfg.initWindow}
+			tc := transport.Config{RateLimit: g.rateLimit, InitWindow: cfg.initWindow,
+				Obs: cfg.opt.Obs}
 			if g.filter != nil {
 				tc.Filter = g.filter()
 			}

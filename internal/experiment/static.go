@@ -34,7 +34,7 @@ func pmsbFairness(id, title string, opt Options, q2Flows int) (*Result, error) {
 		profile: topo.PortProfile{
 			Weights:   topo.EqualWeights(2),
 			NewSched:  topo.WFQFactory(),
-			NewMarker: func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+			NewMarker: func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12), Obs: opt.Obs} },
 		},
 		accessRate: motiveRate, bottleneckRate: motiveRate, delay: motiveDelay,
 		groups: []flowGroup{
@@ -86,7 +86,7 @@ func runFig9(opt Options) (*Result, error) {
 		{
 			name: "pmsb",
 			marker: func(*sim.Engine) topo.MarkerFactory {
-				return func() ecn.Marker { return &core.PMSB{PortK: portK} }
+				return func() ecn.Marker { return &core.PMSB{PortK: portK, Obs: opt.Obs} }
 			},
 			sched: dwrr,
 		},

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
 )
@@ -24,6 +25,11 @@ type PFC struct {
 	upstream []*Port
 
 	pauses int64
+
+	// node identifies the guarded switch in trace events; bus is nil
+	// unless Observe was called.
+	bus  *obs.Bus
+	node pkt.NodeID
 }
 
 // NewPFC returns a controller with the given watermarks in bytes
@@ -59,6 +65,13 @@ func (f *PFC) Upstream(p *Port) {
 	}
 }
 
+// Observe reports pause/resume transitions to bus, attributing them to
+// the guarded switch's node ID. A nil bus disables reporting.
+func (f *PFC) Observe(bus *obs.Bus, node pkt.NodeID) {
+	f.bus = bus
+	f.node = node
+}
+
 // Paused reports the current pause state.
 func (f *PFC) Paused() bool { return f.paused }
 
@@ -71,11 +84,13 @@ func (f *PFC) add(delta int) {
 	case !f.paused && f.buffered > f.xoff:
 		f.paused = true
 		f.pauses++
+		f.bus.PFCPause(f.eng.Now(), f.node, f.buffered)
 		for _, p := range f.upstream {
 			p.Pause()
 		}
 	case f.paused && f.buffered < f.xon:
 		f.paused = false
+		f.bus.PFCResume(f.eng.Now(), f.node, f.buffered)
 		for _, p := range f.upstream {
 			p.Resume()
 		}

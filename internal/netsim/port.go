@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pmsb/internal/ecn"
+	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sched"
 	"pmsb/internal/sim"
@@ -13,6 +14,16 @@ import (
 // Tap observes packets at a port event (enqueue, dequeue, drop). q is
 // the queue the packet was classified into.
 type Tap func(p *pkt.Packet, q int)
+
+// tap list indices: the port keeps one slice per event kind and a
+// single shared iteration helper (fire), instead of three copies of the
+// loop. The Tap registration API is a thin adapter over this.
+const (
+	tapEnqueue = iota
+	tapDequeue
+	tapDrop
+	numTapKinds
+)
 
 // PortConfig configures an output port.
 type PortConfig struct {
@@ -61,9 +72,12 @@ type Port struct {
 	dropPackets, dropBytes int64
 	markedPackets          int64
 
-	enqueueTaps []Tap
-	dequeueTaps []Tap
-	dropTaps    []Tap
+	taps [numTapKinds][]Tap
+
+	// probe is the port's handle into the observability layer; nil (the
+	// default) disables it, and every emit site below is then a single
+	// pointer test.
+	probe *obs.PortProbe
 }
 
 var _ ecn.PortView = (*Port)(nil)
@@ -101,20 +115,20 @@ func (p *Port) Send(packet *pkt.Packet) {
 	q := p.cfg.Classify(packet)
 	s := p.cfg.Sched
 	if p.cfg.DropFn != nil && p.cfg.DropFn(packet) {
-		p.drop(packet, q)
+		p.drop(packet, q, obs.DropInjected)
 		return
 	}
 	if p.cfg.BufferBytes > 0 && s.TotalBytes()+packet.Size > p.cfg.BufferBytes {
-		p.drop(packet, q)
+		p.drop(packet, q, obs.DropPortBuffer)
 		return
 	}
 	if p.cfg.Shared != nil && !p.cfg.Shared.Admit(s.TotalBytes(), packet.Size) {
-		p.drop(packet, q)
+		p.drop(packet, q, obs.DropSharedBuffer)
 		return
 	}
 	if s.TotalPackets() == 0 {
-		if obs, ok := s.(idleObserver); ok {
-			obs.ObserveIdle(p.eng.Now())
+		if io, ok := s.(idleObserver); ok {
+			io.ObserveIdle(p.eng.Now())
 		}
 	}
 	packet.EnqueuedAt = p.eng.Now()
@@ -124,29 +138,42 @@ func (p *Port) Send(packet *pkt.Packet) {
 		p.cfg.Marker.ShouldMark(p, q, packet) {
 		packet.CE = true
 		p.markedPackets++
+		if p.probe != nil {
+			p.probe.Mark(p.eng.Now(), q, packet, s.TotalBytes(), s.QueueBytes(q))
+		}
 	}
 	s.Enqueue(q, packet)
 	if p.cfg.Pool != nil {
 		p.cfg.Pool.Add(packet.Size)
 	}
-	for _, tap := range p.enqueueTaps {
-		tap(packet, q)
+	if p.probe != nil {
+		p.probe.Enqueue(p.eng.Now(), q, packet, s.TotalBytes(), s.QueueBytes(q))
 	}
+	p.fire(tapEnqueue, packet, q)
 	p.kick()
 }
 
-// drop refuses an arriving packet: count it, let the drop taps observe
-// it, then release it back to the packet pool — a refused packet has no
-// further consumer. Every admission path (failure injection, per-port
-// buffer, shared-buffer DT) funnels through here so the accounting and
-// the pool release can never diverge.
-func (p *Port) drop(packet *pkt.Packet, q int) {
+// drop refuses an arriving packet: count it, let the drop taps (and the
+// obs layer) observe it, then release it back to the packet pool — a
+// refused packet has no further consumer. Every admission path (failure
+// injection, per-port buffer, shared-buffer DT) funnels through here so
+// the accounting and the pool release can never diverge.
+func (p *Port) drop(packet *pkt.Packet, q int, reason obs.DropReason) {
 	p.dropPackets++
 	p.dropBytes += int64(packet.Size)
-	for _, tap := range p.dropTaps {
+	if p.probe != nil {
+		p.probe.Drop(p.eng.Now(), q, packet, reason)
+	}
+	p.fire(tapDrop, packet, q)
+	pkt.Release(packet)
+}
+
+// fire invokes the registered taps of one kind — the single iteration
+// point behind the three On* registration methods.
+func (p *Port) fire(kind int, packet *pkt.Packet, q int) {
+	for _, tap := range p.taps[kind] {
 		tap(packet, q)
 	}
-	pkt.Release(packet)
 }
 
 // kick starts the transmitter if it is idle, unpaused and a packet is
@@ -171,10 +198,14 @@ func (p *Port) kick() {
 		p.cfg.Marker.ShouldMark(p, q, packet) {
 		packet.CE = true
 		p.markedPackets++
+		if p.probe != nil {
+			p.probe.Mark(p.eng.Now(), q, packet, p.cfg.Sched.TotalBytes(), p.cfg.Sched.QueueBytes(q))
+		}
 	}
-	for _, tap := range p.dequeueTaps {
-		tap(packet, q)
+	if p.probe != nil {
+		p.probe.Dequeue(p.eng.Now(), q, packet, p.cfg.Sched.TotalBytes(), p.cfg.Sched.QueueBytes(q))
 	}
+	p.fire(tapDequeue, packet, q)
 	p.busy = true
 	p.inflight = packet
 	p.txPackets++
@@ -214,13 +245,21 @@ func (p *Port) Resume() {
 func (p *Port) IsPaused() bool { return p.paused }
 
 // OnEnqueue registers a tap invoked after each successful enqueue.
-func (p *Port) OnEnqueue(t Tap) { p.enqueueTaps = append(p.enqueueTaps, t) }
+func (p *Port) OnEnqueue(t Tap) { p.taps[tapEnqueue] = append(p.taps[tapEnqueue], t) }
 
 // OnDequeue registers a tap invoked when a packet begins transmission.
-func (p *Port) OnDequeue(t Tap) { p.dequeueTaps = append(p.dequeueTaps, t) }
+func (p *Port) OnDequeue(t Tap) { p.taps[tapDequeue] = append(p.taps[tapDequeue], t) }
 
 // OnDrop registers a tap invoked when a packet is tail-dropped.
-func (p *Port) OnDrop(t Tap) { p.dropTaps = append(p.dropTaps, t) }
+func (p *Port) OnDrop(t Tap) { p.taps[tapDrop] = append(p.taps[tapDrop], t) }
+
+// Observe attaches the port to an observability bus under the given
+// topology identity (owning node and port index). A nil bus leaves the
+// port unobserved; calling with non-nil replaces any earlier probe.
+func (p *Port) Observe(bus *obs.Bus, node pkt.NodeID, portIndex int) {
+	p.probe = bus.ObservePort(obs.PortID{Node: node, Port: int32(portIndex)},
+		p.cfg.Sched.NumQueues())
+}
 
 // Link returns the attached link.
 func (p *Port) Link() *Link { return p.link }

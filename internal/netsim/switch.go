@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
 )
@@ -66,3 +67,12 @@ func (s *Switch) Receive(p *pkt.Packet) {
 // RouteDrops counts packets dropped for lack of a route — normally zero
 // in a correctly wired topology.
 func (s *Switch) RouteDrops() int64 { return s.routeDrops }
+
+// Observe attaches every current port to the bus, identified by this
+// switch's node ID and the port's index. Call after all ports are
+// added; a nil bus leaves the ports unobserved.
+func (s *Switch) Observe(bus *obs.Bus) {
+	for i, p := range s.ports {
+		p.Observe(bus, s.id, i)
+	}
+}

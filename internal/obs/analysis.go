@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"pmsb/internal/pkt"
+	"pmsb/internal/stats"
+)
+
+// This file is the trace-analysis side of the layer: pure functions
+// over []Event that rebuild the figures the paper plots — queue-depth
+// time series and percentiles, mark-rate timelines, per-flow summaries.
+// cmd/pmsbstat is a thin shell around them. Because port events carry
+// absolute occupancy (PortBytes/QueueBytes), every reconstruction here
+// survives ring wraparound: losing the oldest events narrows the
+// window, it never skews the values.
+
+// QueueKey identifies one queue of one port in a trace.
+type QueueKey struct {
+	Node  pkt.NodeID
+	Port  int32
+	Queue int32
+}
+
+// DepthSummaries aggregates the queue-occupancy samples of every
+// enqueue/dequeue event into a per-queue Summary of QueueBytes. The
+// second return is the key set sorted by (node, port, queue) for
+// deterministic iteration.
+func DepthSummaries(events []Event) (map[QueueKey]*stats.Summary, []QueueKey) {
+	out := make(map[QueueKey]*stats.Summary)
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != KindEnqueue && ev.Kind != KindDequeue {
+			continue
+		}
+		k := QueueKey{Node: ev.Node, Port: ev.Port, Queue: ev.Queue}
+		s := out[k]
+		if s == nil {
+			s = &stats.Summary{}
+			out[k] = s
+		}
+		s.Add(float64(ev.QueueBytes))
+	}
+	keys := make([]QueueKey, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Node != keys[j].Node {
+			return keys[i].Node < keys[j].Node
+		}
+		if keys[i].Port != keys[j].Port {
+			return keys[i].Port < keys[j].Port
+		}
+		return keys[i].Queue < keys[j].Queue
+	})
+	return out, keys
+}
+
+// DepthTrace extracts the occupancy-versus-time series of one queue
+// (queue >= 0: QueueBytes of that queue) or of the whole port
+// (queue < 0: PortBytes), in event order — the raw form of the paper's
+// queue-length figures.
+func DepthTrace(events []Event, node pkt.NodeID, port int32, queue int32) stats.Trace {
+	var tr stats.Trace
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != KindEnqueue && ev.Kind != KindDequeue {
+			continue
+		}
+		if ev.Node != node || ev.Port != port {
+			continue
+		}
+		if queue >= 0 {
+			if ev.Queue != queue {
+				continue
+			}
+			tr.Record(ev.T, float64(ev.QueueBytes))
+			continue
+		}
+		tr.Record(ev.T, float64(ev.PortBytes))
+	}
+	return tr
+}
+
+// MarkSeries bins CE marks and dequeued packets into bin-wide counts;
+// dividing the two yields the mark-rate timeline.
+func MarkSeries(events []Event, bin time.Duration) (marks, dequeues *stats.TimeSeries) {
+	marks = stats.NewTimeSeries(bin)
+	dequeues = stats.NewTimeSeries(bin)
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindMark:
+			marks.Add(ev.T, 1)
+		case KindDequeue:
+			dequeues.Add(ev.T, 1)
+		}
+	}
+	return marks, dequeues
+}
+
+// CountKinds tallies the events by kind.
+func CountKinds(events []Event) map[Kind]int {
+	out := make(map[Kind]int)
+	for i := range events {
+		out[events[i].Kind]++
+	}
+	return out
+}
+
+// Segments counts the independent simulation runs in a trace: an
+// experiment that runs several configurations back to back emits them
+// into one bus, and each new engine restarts virtual time at zero.
+// A fresh segment begins wherever time goes backwards.
+func Segments(events []Event) int {
+	if len(events) == 0 {
+		return 0
+	}
+	segs := 1
+	last := events[0].T
+	for i := 1; i < len(events); i++ {
+		if events[i].T < last {
+			segs++
+		}
+		last = events[i].T
+	}
+	return segs
+}
+
+// FlowsFromEvents rebuilds per-flow records from a serialized trace, in
+// flow-start order. It is the offline counterpart of the live
+// FlowTable: marks-seen here counts switch-side KindMark events for the
+// flow (the sender-side signal counters are not traced per event), and
+// progress comes from alpha/finish events. Flows whose start fell off a
+// wrapped ring are still created at first sight with a zero Start.
+func FlowsFromEvents(events []Event) []*FlowRecord {
+	t := NewFlowTable()
+	for i := range events {
+		ev := &events[i]
+		if ev.Flow == 0 {
+			continue
+		}
+		switch ev.Kind {
+		case KindFlowStart:
+			rec := t.open(ev.Flow)
+			rec.Start = ev.T
+			rec.Size = ev.Size
+			rec.Service = int(ev.Queue)
+		case KindFlowFinish:
+			rec := t.open(ev.Flow)
+			rec.Finished = true
+			rec.Finish = ev.T
+			rec.FCT = time.Duration(ev.V)
+			rec.Bytes = ev.Size
+		case KindMark:
+			t.open(ev.Flow).MarksSeen++
+		case KindCwndCut:
+			t.open(ev.Flow).CwndCuts++
+		case KindRetransmit:
+			t.open(ev.Flow).Retransmits++
+		case KindRTO:
+			t.open(ev.Flow).RTOs++
+		case KindAlpha:
+			rec := t.open(ev.Flow)
+			rec.LastAlpha = ev.V
+			if ev.Size > rec.Bytes {
+				rec.Bytes = ev.Size
+			}
+		}
+	}
+	return t.Records()
+}

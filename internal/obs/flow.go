@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"pmsb/internal/pkt"
+)
+
+// FlowRecord is the per-flow telemetry assembled automatically from
+// transport events: lifecycle, progress, congestion signals and loss
+// recovery. Experiments read these instead of polling senders.
+type FlowRecord struct {
+	// Flow is the transport flow ID.
+	Flow pkt.FlowID `json:"flow"`
+	// Service is the flow's service class (switch queue selector).
+	Service int `json:"service"`
+	// Size is the flow size in bytes (0 = long-lived).
+	Size int64 `json:"size,omitempty"`
+	// Start and Finish are virtual times; Finish is valid once Finished.
+	Start  time.Duration `json:"start"`
+	Finish time.Duration `json:"finish,omitempty"`
+	// FCT is the flow completion time (valid once Finished).
+	FCT time.Duration `json:"fct,omitempty"`
+	// Finished reports whether the last byte was acked.
+	Finished bool `json:"finished"`
+	// Bytes is the acknowledged (or delivered) byte count, updated as
+	// the flow progresses and finalized at finish.
+	Bytes int64 `json:"bytes"`
+	// MarksSeen counts congestion signals that arrived at the sender;
+	// MarksAccepted counts the ones its filter honoured (PMSB(e) may
+	// veto signals — "selective blindness at the end host").
+	MarksSeen     int64 `json:"marksSeen"`
+	MarksAccepted int64 `json:"marksAccepted"`
+	// CwndCuts counts multiplicative window reductions; Retransmits and
+	// RTOs count loss-recovery actions.
+	CwndCuts    int64 `json:"cwndCuts"`
+	Retransmits int64 `json:"retransmits"`
+	RTOs        int64 `json:"rtos"`
+	// LastAlpha is the most recent congestion-estimate refresh.
+	LastAlpha float64 `json:"lastAlpha"`
+}
+
+// FlowTable collects FlowRecords in flow-start order.
+type FlowTable struct {
+	recs  map[pkt.FlowID]*FlowRecord
+	order []*FlowRecord
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{recs: make(map[pkt.FlowID]*FlowRecord)}
+}
+
+// open returns the record for f, creating it on first start. Restarted
+// flow IDs reuse their record.
+func (t *FlowTable) open(f pkt.FlowID) *FlowRecord {
+	if rec, ok := t.recs[f]; ok {
+		return rec
+	}
+	rec := &FlowRecord{Flow: f}
+	t.recs[f] = rec
+	t.order = append(t.order, rec)
+	return rec
+}
+
+// Get returns the record for f (nil when the flow never started).
+func (t *FlowTable) Get(f pkt.FlowID) *FlowRecord { return t.recs[f] }
+
+// Len returns the number of tracked flows.
+func (t *FlowTable) Len() int { return len(t.order) }
+
+// Records returns every record in flow-start order. The slice is shared
+// with the table; treat it as read-only.
+func (t *FlowTable) Records() []*FlowRecord { return t.order }
+
+// TopBytes returns up to k records sorted by descending byte count
+// (ties broken by flow ID for determinism).
+func (t *FlowTable) TopBytes(k int) []*FlowRecord {
+	out := make([]*FlowRecord, len(t.order))
+	copy(out, t.order)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	if k >= 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// FlowProbe binds a transport sender to its live FlowRecord and the
+// bus. A nil probe (observability disabled) makes every method a nil
+// check — senders hold one pointer and emit unconditionally.
+type FlowProbe struct {
+	bus *Bus
+	rec *FlowRecord
+}
+
+// OpenFlow starts (or restarts) per-flow telemetry, emitting a
+// flow-start event and returning the probe the sender holds. Returns
+// nil on a nil bus, so the caller can assign unconditionally.
+func (b *Bus) OpenFlow(t time.Duration, f pkt.FlowID, service int, size int64) *FlowProbe {
+	if b == nil {
+		return nil
+	}
+	rec := b.flows.open(f)
+	rec.Service = service
+	rec.Size = size
+	rec.Start = t
+	b.reg.flowsStarted.Inc()
+	b.record(Event{T: t, Kind: KindFlowStart, Node: pkt.NoNode, Port: -1,
+		Queue: int32(service), Flow: f, Size: size})
+	return &FlowProbe{bus: b, rec: rec}
+}
+
+// Signal counts a congestion signal arriving at the sender and whether
+// its filter honoured it. Counter-only (no ring event): the switch-side
+// KindMark event already traces each mark's origin, and signals arrive
+// per-ACK — far too hot for one record each.
+func (p *FlowProbe) Signal(marked, accepted bool) {
+	if p == nil || !marked {
+		return
+	}
+	p.rec.MarksSeen++
+	if accepted {
+		p.rec.MarksAccepted++
+	}
+}
+
+// CwndCut records a multiplicative window reduction to cwnd segments.
+func (p *FlowProbe) CwndCut(t time.Duration, cwnd float64) {
+	if p == nil {
+		return
+	}
+	p.rec.CwndCuts++
+	p.bus.record(Event{T: t, Kind: KindCwndCut, Node: pkt.NoNode, Port: -1,
+		Queue: -1, Flow: p.rec.Flow, V: cwnd})
+}
+
+// Alpha records a congestion-estimate refresh; bytes is the flow's
+// cumulative acknowledged progress, kept on the record so unfinished
+// flows still report throughput.
+func (p *FlowProbe) Alpha(t time.Duration, alpha float64, bytes int64) {
+	if p == nil {
+		return
+	}
+	p.rec.LastAlpha = alpha
+	if bytes > p.rec.Bytes {
+		p.rec.Bytes = bytes
+	}
+	p.bus.record(Event{T: t, Kind: KindAlpha, Node: pkt.NoNode, Port: -1,
+		Queue: -1, Flow: p.rec.Flow, Size: bytes, V: alpha})
+}
+
+// Retransmit records a retransmission of the segment at seq.
+func (p *FlowProbe) Retransmit(t time.Duration, seq int64) {
+	if p == nil {
+		return
+	}
+	p.rec.Retransmits++
+	p.bus.record(Event{T: t, Kind: KindRetransmit, Node: pkt.NoNode, Port: -1,
+		Queue: -1, Flow: p.rec.Flow, Pkt: uint64(seq)})
+}
+
+// RTO records a retransmission timeout firing.
+func (p *FlowProbe) RTO(t time.Duration) {
+	if p == nil {
+		return
+	}
+	p.rec.RTOs++
+	p.bus.record(Event{T: t, Kind: KindRTO, Node: pkt.NoNode, Port: -1,
+		Queue: -1, Flow: p.rec.Flow})
+}
+
+// Rate records a rate-based transport's new sending rate in bits/sec.
+func (p *FlowProbe) Rate(t time.Duration, rate float64) {
+	if p == nil {
+		return
+	}
+	p.bus.record(Event{T: t, Kind: KindRate, Node: pkt.NoNode, Port: -1,
+		Queue: -1, Flow: p.rec.Flow, V: rate})
+}
+
+// Finish finalizes the record: the flow completed at t with the given
+// FCT and total acknowledged bytes.
+func (p *FlowProbe) Finish(t time.Duration, fct time.Duration, bytes int64) {
+	if p == nil {
+		return
+	}
+	p.rec.Finished = true
+	p.rec.Finish = t
+	p.rec.FCT = fct
+	p.rec.Bytes = bytes
+	p.bus.reg.flowsFinished.Inc()
+	p.bus.reg.fct.ObserveDuration(fct)
+	p.bus.record(Event{T: t, Kind: KindFlowFinish, Node: pkt.NoNode, Port: -1,
+		Queue: -1, Flow: p.rec.Flow, Size: bytes, V: float64(fct)})
+}

@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pmsb/internal/pkt"
+)
+
+func testPacket(flow pkt.FlowID, id uint64, size int) *pkt.Packet {
+	return &pkt.Packet{Flow: flow, ID: id, Size: size}
+}
+
+func TestRingAppendAndOrder(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Append(Event{Seq: uint64(i)})
+	}
+	if r.Len() != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// TestRingWraparound: overflowing the ring keeps the newest events in
+// oldest-first order and counts the overwritten prefix as dropped.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Seq: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	want := uint64(6)
+	r.Do(func(ev *Event) {
+		if ev.Seq != want {
+			t.Fatalf("got seq %d, want %d", ev.Seq, want)
+		}
+		want++
+	})
+	if want != 10 {
+		t.Fatalf("Do visited up to %d, want 10", want)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", r.Cap())
+	}
+	r.Append(Event{Seq: 1})
+	r.Append(Event{Seq: 2})
+	if r.Len() != 1 || r.Events()[0].Seq != 2 {
+		t.Fatalf("single-slot ring must keep the newest event: %+v", r.Events())
+	}
+}
+
+// TestJSONLRoundTrip: every field written must survive the
+// encode/decode cycle, including the string-form kinds and reasons.
+func TestJSONLRoundTrip(t *testing.T) {
+	r := NewRing(16)
+	in := []Event{
+		{Seq: 0, T: time.Millisecond, Kind: KindEnqueue, Node: 1000, Port: 0,
+			Queue: 1, Flow: 7, Pkt: 42, Size: 1500, PortBytes: 4500, QueueBytes: 3000},
+		{Seq: 1, T: 2 * time.Millisecond, Kind: KindDrop, Node: 1000, Port: 0,
+			Queue: 0, Flow: 8, Pkt: 43, Size: 1500, Reason: DropSharedBuffer},
+		{Seq: 2, T: 3 * time.Millisecond, Kind: KindBlind, Node: pkt.NoNode, Port: -1,
+			Queue: 1, PortBytes: 20000, QueueBytes: 100, V: 9000},
+		{Seq: 3, T: 4 * time.Millisecond, Kind: KindFlowFinish, Node: pkt.NoNode,
+			Port: -1, Queue: -1, Flow: 7, Size: 9000, V: 4e6},
+	}
+	for _, ev := range in {
+		r.Append(ev)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(in) {
+		t.Fatalf("wrote %d lines, want %d", got, len(in))
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d round-trip mismatch:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{bad json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"no-such-kind"}` + "\n")); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank lines must be skipped: %v %v", evs, err)
+	}
+}
+
+// TestNilBusIsInert: every probe constructor returns nil on a nil bus
+// and every emit method tolerates a nil receiver — the disabled layer.
+func TestNilBusIsInert(t *testing.T) {
+	var b *Bus
+	if b.Ring() != nil || b.Metrics() != nil || b.Flows() != nil {
+		t.Fatal("nil bus accessors must answer nil")
+	}
+	pp := b.ObservePort(PortID{Node: 1, Port: 0}, 2)
+	if pp != nil {
+		t.Fatal("ObservePort on nil bus must be nil")
+	}
+	p := testPacket(1, 1, 1500)
+	pp.Enqueue(0, 0, p, 0, 0)
+	pp.Dequeue(0, 0, p, 0, 0)
+	pp.Drop(0, 0, p, DropPortBuffer)
+	pp.Mark(0, 0, p, 0, 0)
+	fp := b.OpenFlow(0, 1, 0, 0)
+	if fp != nil {
+		t.Fatal("OpenFlow on nil bus must be nil")
+	}
+	fp.Signal(true, true)
+	fp.CwndCut(0, 1)
+	fp.Alpha(0, 0.5, 100)
+	fp.Retransmit(0, 0)
+	fp.RTO(0)
+	fp.Rate(0, 1e9)
+	fp.Finish(0, time.Millisecond, 100)
+	b.PFCPause(0, 1, 100)
+	b.PFCResume(0, 1, 10)
+	b.Blind(0, 1, 100, 10, 50)
+}
+
+// TestBusEmitZeroAlloc: with the layer ENABLED (ring + counters), a
+// port-probe emit must still be allocation-free — the hot-path
+// guarantee that makes always-on tracing viable.
+func TestBusEmitZeroAlloc(t *testing.T) {
+	bus := NewBus(1 << 12)
+	probe := bus.ObservePort(PortID{Node: 1000, Port: 0}, 2)
+	p := testPacket(7, 1, 1500)
+	allocs := testing.AllocsPerRun(1000, func() {
+		probe.Enqueue(time.Millisecond, 1, p, 4500, 3000)
+		probe.Dequeue(time.Millisecond, 1, p, 3000, 1500)
+		probe.Mark(time.Millisecond, 1, p, 4500, 3000)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled emit path allocates %v/op, want 0", allocs)
+	}
+	// Flow-probe congestion events ride the same ring.
+	fp := bus.OpenFlow(0, 7, 0, 0)
+	allocs = testing.AllocsPerRun(1000, func() {
+		fp.Signal(true, true)
+		fp.CwndCut(time.Millisecond, 10)
+		fp.Alpha(time.Millisecond, 0.5, 1000)
+	})
+	if allocs != 0 {
+		t.Fatalf("flow emit path allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestBusSequencing(t *testing.T) {
+	bus := NewBus(8)
+	probe := bus.ObservePort(PortID{Node: 1, Port: 0}, 1)
+	p := testPacket(1, 1, 100)
+	probe.Enqueue(0, 0, p, 100, 100)
+	probe.Dequeue(time.Microsecond, 0, p, 0, 0)
+	evs := bus.Ring().Events()
+	if len(evs) != 2 || evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("sequencing wrong: %+v", evs)
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("test.counter") != c {
+		t.Fatal("counter lookup must be stable")
+	}
+	g := r.Gauge("test.gauge")
+	g.Set(2)
+	g.Add(-0.5)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("test.hist")
+	h.Observe(1)
+	h.ObserveDuration(3 * time.Second)
+	if h.Summary().Count() != 2 || h.Summary().Max() != 3 {
+		t.Fatalf("hist count=%d max=%v", h.Summary().Count(), h.Summary().Max())
+	}
+
+	var dump strings.Builder
+	if _, err := r.WriteTo(&dump); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"test.counter\t5", "test.gauge\t1.5", "test.hist\tcount=2", "flows.started\t0"} {
+		if !strings.Contains(dump.String(), want) {
+			t.Errorf("dump missing %q:\n%s", want, dump.String())
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type re-registration must panic")
+		}
+	}()
+	r.Gauge("test.counter")
+}
+
+func TestFlowTableTopBytes(t *testing.T) {
+	bus := NewBus(0) // metrics+flows only, no ring
+	if bus.Ring() != nil {
+		t.Fatal("ringCap 0 must disable the ring")
+	}
+	a := bus.OpenFlow(0, 1, 0, 0)
+	b := bus.OpenFlow(0, 2, 1, 0)
+	c := bus.OpenFlow(0, 3, 1, 0)
+	a.Alpha(0, 0.1, 500)
+	b.Alpha(0, 0.1, 900)
+	c.Alpha(0, 0.1, 900)
+	top := bus.Flows().TopBytes(2)
+	if len(top) != 2 || top[0].Flow != 2 || top[1].Flow != 3 {
+		t.Fatalf("TopBytes order wrong: %+v", top)
+	}
+	if bus.Flows().Len() != 3 || bus.Flows().Get(1).Bytes != 500 {
+		t.Fatal("flow table state wrong")
+	}
+	b.Finish(time.Millisecond, time.Millisecond, 1200)
+	rec := bus.Flows().Get(2)
+	if !rec.Finished || rec.FCT != time.Millisecond || rec.Bytes != 1200 {
+		t.Fatalf("finish not recorded: %+v", rec)
+	}
+}
+
+// TestAnalysis drives the trace-analysis helpers over a synthetic
+// two-queue trace with a known shape.
+func TestAnalysis(t *testing.T) {
+	bus := NewBus(1 << 10)
+	probe := bus.ObservePort(PortID{Node: 1000, Port: 0}, 2)
+	p0 := testPacket(1, 1, 1500)
+	p1 := testPacket(2, 2, 1500)
+	fp := bus.OpenFlow(0, 1, 0, 3000)
+	for i := 0; i < 4; i++ {
+		at := time.Duration(i) * time.Millisecond
+		probe.Enqueue(at, 0, p0, 3000, 2000)
+		probe.Enqueue(at, 1, p1, 3000, 1000)
+		probe.Dequeue(at+time.Millisecond/2, 0, p0, 1500, 500)
+	}
+	probe.Mark(4*time.Millisecond, 0, p0, 3000, 2000)
+	fp.Finish(5*time.Millisecond, 5*time.Millisecond, 3000)
+	events := bus.Ring().Events()
+
+	sums, keys := DepthSummaries(events)
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	q0 := sums[QueueKey{Node: 1000, Port: 0, Queue: 0}]
+	if q0.Max() != 2000 || q0.Min() != 500 {
+		t.Fatalf("q0 depth max=%v min=%v", q0.Max(), q0.Min())
+	}
+
+	tr := DepthTrace(events, 1000, 0, 0)
+	if len(tr.Points()) != 8 || tr.Max() != 2000 {
+		t.Fatalf("q0 trace: %d points max %v", len(tr.Points()), tr.Max())
+	}
+	port := DepthTrace(events, 1000, 0, -1)
+	if port.Max() != 3000 {
+		t.Fatalf("port trace max = %v", port.Max())
+	}
+
+	marks, deqs := MarkSeries(events, time.Millisecond)
+	if marks.Value(4) != 1 || deqs.Value(0) != 1 {
+		t.Fatalf("mark series: marks(4)=%v deqs(0)=%v", marks.Value(4), deqs.Value(0))
+	}
+
+	if got := CountKinds(events)[KindEnqueue]; got != 8 {
+		t.Fatalf("enqueue count = %d", got)
+	}
+	if got := Segments(events); got != 1 {
+		t.Fatalf("segments = %d", got)
+	}
+
+	// Only flow 1 has lifecycle/congestion events; flow 2 appears solely
+	// in enqueue records, which don't open flow records offline.
+	flows := FlowsFromEvents(events)
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	f1 := flows[0]
+	if f1.Flow != 1 || !f1.Finished || f1.FCT != 5*time.Millisecond || f1.MarksSeen != 1 {
+		t.Fatalf("reconstructed flow 1: %+v", f1)
+	}
+}
+
+func TestSegmentsDetectsRestart(t *testing.T) {
+	events := []Event{
+		{T: time.Millisecond}, {T: 2 * time.Millisecond},
+		{T: time.Microsecond}, // engine restart
+		{T: 5 * time.Millisecond},
+	}
+	if got := Segments(events); got != 2 {
+		t.Fatalf("Segments = %d, want 2", got)
+	}
+	if Segments(nil) != 0 {
+		t.Fatal("empty trace has 0 segments")
+	}
+}
+
+func TestKindStringAndKinds(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != int(numKinds)-1 {
+		t.Fatalf("Kinds() returned %d kinds, want %d", len(ks), int(numKinds)-1)
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		name := k.String()
+		if strings.HasPrefix(name, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatal("unknown kind must render numerically")
+	}
+	if DropSharedBuffer.String() == "" || DropReason(99).String() == "" {
+		t.Fatal("drop reasons must always render")
+	}
+}

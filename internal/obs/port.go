@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"time"
+
+	"pmsb/internal/pkt"
+)
+
+// PortProbe binds a switch (or NIC) output port to the bus: its
+// topology identity and its pre-registered counter block. The port
+// holds one pointer; a nil probe is the disabled layer and every method
+// returns after a nil check, so un-observed ports pay nothing.
+//
+// Packet-event methods take the occupancy the port already has at hand
+// (scheduler byte counts) so the probe never calls back into the port.
+type PortProbe struct {
+	bus *Bus
+	id  PortID
+	m   *PortMetrics
+}
+
+// ObservePort registers a port with the bus and returns its probe.
+// numQueues sizes the per-queue counter blocks. Returns nil on a nil
+// bus so callers can assign unconditionally.
+func (b *Bus) ObservePort(id PortID, numQueues int) *PortProbe {
+	if b == nil {
+		return nil
+	}
+	return &PortProbe{bus: b, id: id, m: b.reg.portMetrics(id, numQueues)}
+}
+
+// ID returns the probe's port identity.
+func (p *PortProbe) ID() PortID { return p.id }
+
+// Enqueue records a packet admitted to queue q; portBytes/queueBytes
+// are the occupancy after the enqueue.
+func (p *PortProbe) Enqueue(t time.Duration, q int, packet *pkt.Packet, portBytes, queueBytes int) {
+	if p == nil {
+		return
+	}
+	p.bus.record(Event{T: t, Kind: KindEnqueue, Node: p.id.Node, Port: p.id.Port,
+		Queue: int32(q), Flow: packet.Flow, Pkt: packet.ID, Size: int64(packet.Size),
+		PortBytes: int64(portBytes), QueueBytes: int64(queueBytes)})
+}
+
+// Dequeue records a packet beginning transmission from queue q;
+// portBytes/queueBytes are the occupancy after it left the queue.
+func (p *PortProbe) Dequeue(t time.Duration, q int, packet *pkt.Packet, portBytes, queueBytes int) {
+	if p == nil {
+		return
+	}
+	p.m.TxPackets.Inc()
+	p.m.TxBytes.Add(int64(packet.Size))
+	if q >= 0 && q < len(p.m.QueueTxBytes) {
+		p.m.QueueTxBytes[q].Add(int64(packet.Size))
+	}
+	p.bus.record(Event{T: t, Kind: KindDequeue, Node: p.id.Node, Port: p.id.Port,
+		Queue: int32(q), Flow: packet.Flow, Pkt: packet.ID, Size: int64(packet.Size),
+		PortBytes: int64(portBytes), QueueBytes: int64(queueBytes)})
+}
+
+// Drop records a packet refused at admission by the given gate.
+func (p *PortProbe) Drop(t time.Duration, q int, packet *pkt.Packet, reason DropReason) {
+	if p == nil {
+		return
+	}
+	p.m.DropPackets.Inc()
+	p.m.DropBytes.Add(int64(packet.Size))
+	p.bus.record(Event{T: t, Kind: KindDrop, Node: p.id.Node, Port: p.id.Port,
+		Queue: int32(q), Flow: packet.Flow, Pkt: packet.ID, Size: int64(packet.Size),
+		Reason: reason})
+}
+
+// Mark records the port's marker CE-marking a packet bound for (or
+// leaving) queue q; portBytes/queueBytes are the occupancy the marking
+// decision observed.
+func (p *PortProbe) Mark(t time.Duration, q int, packet *pkt.Packet, portBytes, queueBytes int) {
+	if p == nil {
+		return
+	}
+	p.m.Marks.Inc()
+	if q >= 0 && q < len(p.m.QueueMarks) {
+		p.m.QueueMarks[q].Inc()
+	}
+	p.bus.record(Event{T: t, Kind: KindMark, Node: p.id.Node, Port: p.id.Port,
+		Queue: int32(q), Flow: packet.Flow, Pkt: packet.ID, Size: int64(packet.Size),
+		PortBytes: int64(portBytes), QueueBytes: int64(queueBytes)})
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Ring is a preallocated circular buffer of trace events. Appends are
+// O(1), never allocate, and overwrite the oldest record once the ring
+// is full — a long simulation keeps its most recent window instead of
+// growing without bound. Total() minus Len() says how many records the
+// wrap discarded.
+type Ring struct {
+	buf   []Event
+	total uint64 // events ever appended
+}
+
+// NewRing returns a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Append records an event, overwriting the oldest when full.
+func (r *Ring) Append(ev Event) {
+	r.buf[int(r.total%uint64(len(r.buf)))] = ev
+	r.total++
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever appended (retained + lost to
+// wraparound).
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped returns the number of events lost to wraparound.
+func (r *Ring) Dropped() uint64 { return r.total - uint64(r.Len()) }
+
+// Do calls fn on every retained event, oldest first. The pointer is
+// only valid for the duration of the call.
+func (r *Ring) Do(fn func(ev *Event)) {
+	n := r.Len()
+	start := int(r.total) - n
+	for i := 0; i < n; i++ {
+		fn(&r.buf[(start+i)%len(r.buf)])
+	}
+}
+
+// Events returns the retained events oldest-first as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	r.Do(func(ev *Event) { out = append(out, *ev) })
+	return out
+}
+
+// WriteJSONL writes the retained events to w, one JSON object per line,
+// oldest first. The inverse is ReadJSONL.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends '\n' after each value
+	var err error
+	r.Do(func(ev *Event) {
+		if err == nil {
+			err = enc.Encode(ev)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace (as written by WriteJSONL) back into
+// events. Blank lines are skipped; a malformed line fails with its line
+// number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	return out, nil
+}

@@ -61,11 +61,15 @@ func (s *Summary) Max() float64 {
 	return s.samples[len(s.samples)-1]
 }
 
-// Percentile returns the p-th percentile (p in [0,100]) using nearest-
-// rank interpolation. Returns 0 with no samples.
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation between the two closest ranks: the sorted samples are
+// treated as quantiles at rank i/(n-1), and p falling between two ranks
+// blends them proportionally (the same rule as numpy's default). p <= 0
+// yields the minimum, p >= 100 the maximum, and a single sample answers
+// every p. Returns 0 with no samples or a NaN p.
 func (s *Summary) Percentile(p float64) float64 {
 	n := len(s.samples)
-	if n == 0 {
+	if n == 0 || math.IsNaN(p) {
 		return 0
 	}
 	s.sort()
@@ -98,7 +102,10 @@ type CDFPoint struct {
 	P float64
 }
 
-// CDF returns up to points evenly spaced quantiles of the sample set.
+// CDF returns points evenly spaced quantiles of the sample set, from
+// the minimum (P=0) to the maximum (P=1) inclusive. It returns nil with
+// no samples or fewer than 2 requested points (a CDF needs both ends);
+// a single sample yields a degenerate vertical CDF at that value.
 func (s *Summary) CDF(points int) []CDFPoint {
 	if len(s.samples) == 0 || points < 2 {
 		return nil

@@ -276,3 +276,117 @@ func TestSummarySamplesCopy(t *testing.T) {
 		t.Fatal("Samples must return a copy")
 	}
 }
+
+// TestPercentileEdgeCases pins the documented interpolation rule and
+// its boundary behaviour: empty and NaN inputs answer 0, a single
+// sample answers every p, p=0/p=100 answer min/max exactly, and
+// interior percentiles interpolate linearly between the closest ranks.
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty p0", nil, 0, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"nan p", []float64{1, 2, 3}, math.NaN(), 0},
+		{"negative p clamps to min", []float64{1, 2, 3}, -10, 1},
+		{"p over 100 clamps to max", []float64{1, 2, 3}, 250, 3},
+		{"p0 is min", []float64{3, 1, 2}, 0, 1},
+		{"p100 is max", []float64{3, 1, 2}, 100, 3},
+		{"median of two interpolates", []float64{10, 20}, 50, 15},
+		{"p25 of two interpolates", []float64{10, 20}, 25, 12.5},
+		{"median of odd count is exact rank", []float64{1, 2, 9}, 50, 2},
+		{"p75 of four", []float64{1, 2, 3, 4}, 75, 3.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Summary
+			for _, v := range tc.samples {
+				s.Add(v)
+			}
+			got := s.Percentile(tc.p)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Percentile(%v) of %v = %v, want %v", tc.p, tc.samples, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCDFEdgeCases: a CDF needs both ends, so degenerate requests
+// return nil; one sample yields a vertical CDF.
+func TestCDFEdgeCases(t *testing.T) {
+	var empty Summary
+	if got := empty.CDF(11); got != nil {
+		t.Fatalf("empty CDF = %v, want nil", got)
+	}
+	var s Summary
+	s.Add(5)
+	if got := s.CDF(1); got != nil {
+		t.Fatalf("CDF(1) = %v, want nil", got)
+	}
+	if got := s.CDF(0); got != nil {
+		t.Fatalf("CDF(0) = %v, want nil", got)
+	}
+	pts := s.CDF(3)
+	if len(pts) != 3 {
+		t.Fatalf("CDF(3) has %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.X != 5 {
+			t.Fatalf("single-sample CDF point %+v, want X=5", p)
+		}
+	}
+	if pts[0].P != 0 || pts[2].P != 1 {
+		t.Fatalf("CDF must span P=0..1, got %+v", pts)
+	}
+}
+
+// TestTimeSeriesValueBounds: out-of-range bins answer 0 instead of
+// panicking, and Add grows the bin slice monotonically.
+func TestTimeSeriesValueBounds(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond)
+	if got := ts.Value(-1); got != 0 {
+		t.Fatalf("Value(-1) = %v", got)
+	}
+	if got := ts.Value(99); got != 0 {
+		t.Fatalf("Value(99) = %v", got)
+	}
+	ts.Add(2500*time.Microsecond, 10) // bin 2
+	if ts.Bins() != 3 {
+		t.Fatalf("Bins() = %d, want 3", ts.Bins())
+	}
+	if got := ts.Value(2); got != 10 {
+		t.Fatalf("Value(2) = %v, want 10", got)
+	}
+	if got := ts.Value(0); got != 0 {
+		t.Fatalf("Value(0) = %v, want 0 (untouched bin)", got)
+	}
+}
+
+// TestTraceAfterHelpers covers the warmup-windowed trace reductions.
+func TestTraceAfterHelpers(t *testing.T) {
+	var tr Trace
+	if tr.Max() != 0 || tr.MeanAfter(0) != 0 || tr.MinAfter(0) != 0 {
+		t.Fatal("empty trace reductions must be 0")
+	}
+	tr.Record(1*time.Millisecond, 5)
+	tr.Record(2*time.Millisecond, 9)
+	tr.Record(3*time.Millisecond, 3)
+	if got := tr.MaxAfter(2 * time.Millisecond); got != 9 {
+		t.Fatalf("MaxAfter = %v, want 9", got)
+	}
+	if got := tr.MinAfter(2 * time.Millisecond); got != 3 {
+		t.Fatalf("MinAfter = %v, want 3", got)
+	}
+	if got := tr.MeanAfter(2 * time.Millisecond); got != 6 {
+		t.Fatalf("MeanAfter = %v, want 6", got)
+	}
+	if got := tr.MeanAfter(10 * time.Millisecond); got != 0 {
+		t.Fatalf("MeanAfter past end = %v, want 0", got)
+	}
+}

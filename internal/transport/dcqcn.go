@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pmsb/internal/netsim"
+	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
 	"pmsb/internal/units"
@@ -43,6 +44,9 @@ type DCQCNConfig struct {
 	AI units.Rate
 	// PacketSize is the wire size of generated packets (default MTU).
 	PacketSize int
+	// Obs, when non-nil, receives flow-start, CNP rate-cut and alpha
+	// events.
+	Obs *obs.Bus
 }
 
 func (c DCQCNConfig) withDefaults() DCQCNConfig {
@@ -94,6 +98,8 @@ type DCQCNSender struct {
 	sendTimer sim.Timer
 	alphaTick *sim.Ticker
 	recoverT  *sim.Ticker
+
+	probe *obs.FlowProbe
 }
 
 // NewDCQCNSender creates a DCQCN source at src targeting dst. Call
@@ -123,6 +129,7 @@ func (s *DCQCNSender) Start() {
 		return
 	}
 	s.running = true
+	s.probe = s.cfg.Obs.OpenFlow(s.eng.Now(), s.flow, s.service, 0)
 	s.alphaTick = s.eng.Every(s.cfg.AlphaPeriod, s.updateAlpha)
 	s.recoverT = s.eng.Every(s.cfg.RecoveryPeriod, s.increase)
 	s.sendNext()
@@ -194,6 +201,8 @@ func (s *DCQCNSender) handleCNP(p *pkt.Packet) {
 		s.rc = min
 	}
 	s.steps = 0
+	s.probe.Signal(true, true)
+	s.probe.Rate(s.eng.Now(), s.rc)
 }
 
 func (s *DCQCNSender) updateAlpha() {
@@ -203,6 +212,7 @@ func (s *DCQCNSender) updateAlpha() {
 	}
 	s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G*seen
 	s.cnpSeen = false
+	s.probe.Alpha(s.eng.Now(), s.alpha, s.sent)
 }
 
 // increase runs the periodic rate recovery: hyperbolic toward the

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pmsb/internal/netsim"
+	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
 	"pmsb/internal/units"
@@ -62,6 +63,10 @@ type Sender struct {
 	marksAccepted int64
 	rttSamples    []time.Duration
 	recordRTT     bool
+
+	// probe is the flow's handle into the observability layer; nil
+	// (cfg.Obs unset) makes every emit a single pointer test.
+	probe *obs.FlowProbe
 }
 
 // NewSender creates a DCTCP sender at host src sending size bytes (0 for
@@ -93,6 +98,7 @@ func (s *Sender) Start() {
 	s.started = true
 	s.startedAt = s.eng.Now()
 	s.alphaSeq = 0
+	s.probe = s.cfg.Obs.OpenFlow(s.startedAt, s.flow, s.service, s.size)
 	s.trySend()
 }
 
@@ -200,6 +206,7 @@ func (s *Sender) sendSegment(seq int64, retx bool) {
 	p.SentAt = s.eng.Now()
 	if retx {
 		s.retransmits++
+		s.probe.Retransmit(s.eng.Now(), seq)
 	}
 	if s.cfg.RateLimit > 0 {
 		now := s.eng.Now()
@@ -264,6 +271,7 @@ func (s *Sender) handleAck(p *pkt.Packet) {
 	if accepted {
 		s.marksAccepted++
 	}
+	s.probe.Signal(marked, accepted)
 
 	switch {
 	case p.AckNo > s.sndUna:
@@ -296,6 +304,7 @@ func (s *Sender) onNewAck(ackNo int64, accepted bool) {
 		}
 		s.bytesAcked, s.bytesMarked = 0, 0
 		s.alphaSeq = s.sndNxt
+		s.probe.Alpha(s.eng.Now(), s.alpha, s.sndUna)
 	}
 
 	if s.recovering && s.sndUna >= s.recoverSeq {
@@ -327,6 +336,7 @@ func (s *Sender) onNewAck(ackNo int64, accepted bool) {
 		}
 		s.ssthresh = s.cwnd
 		s.cutSeq = s.sndNxt
+		s.probe.CwndCut(s.eng.Now(), s.cwnd)
 	}
 
 	if s.size > 0 && s.sndUna >= s.size {
@@ -374,6 +384,7 @@ func (s *Sender) onRTO() {
 	if s.finished || s.inflight() == 0 {
 		return
 	}
+	s.probe.RTO(s.eng.Now())
 	s.ssthresh = s.cwnd / 2
 	if s.ssthresh < 2 {
 		s.ssthresh = 2
@@ -398,6 +409,7 @@ func (s *Sender) complete() {
 	s.fct = s.eng.Now() - s.startedAt
 	s.rtoTimer.Cancel()
 	s.paceTimer.Cancel()
+	s.probe.Finish(s.eng.Now(), s.fct, s.sndUna)
 	if s.onComplete != nil {
 		s.onComplete(s)
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pmsb/internal/netsim"
+	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
 	"pmsb/internal/units"
@@ -35,6 +36,8 @@ type TimelyConfig struct {
 	EWMA float64
 	// PacketSize is the wire size of generated packets (default MTU).
 	PacketSize int
+	// Obs, when non-nil, receives flow-start and rate-decision events.
+	Obs *obs.Bus
 }
 
 func (c TimelyConfig) withDefaults() TimelyConfig {
@@ -88,6 +91,8 @@ type TimelySender struct {
 
 	nextPktID uint64
 	sendTimer sim.Timer
+
+	probe *obs.FlowProbe
 }
 
 // NewTimelySender creates a TIMELY source at src targeting dst.
@@ -112,6 +117,7 @@ func (s *TimelySender) Start() {
 		return
 	}
 	s.running = true
+	s.probe = s.cfg.Obs.OpenFlow(s.eng.Now(), s.flow, s.service, 0)
 	s.sendNext()
 }
 
@@ -201,6 +207,7 @@ func (s *TimelySender) handleAck(p *pkt.Packet) {
 	if max := float64(s.cfg.MaxRate); s.rate > max {
 		s.rate = max
 	}
+	s.probe.Rate(s.eng.Now(), s.rate)
 }
 
 // TimelyReceiver echoes every data packet's timestamp back so the

@@ -17,6 +17,7 @@ package transport
 import (
 	"time"
 
+	"pmsb/internal/obs"
 	"pmsb/internal/units"
 )
 
@@ -55,6 +56,9 @@ type Config struct {
 	// cut becomes alpha^d/2 with urgency d = Tc/D (see d2tcp.go). The
 	// deadline is relative to Start.
 	Deadline time.Duration
+	// Obs, when non-nil, is the observability bus the sender reports
+	// flow lifecycle, congestion and loss-recovery events to.
+	Obs *obs.Bus
 }
 
 // withDefaults fills zero fields with defaults.
