@@ -45,6 +45,30 @@ func TestParseLineRejectsNonBenchmarks(t *testing.T) {
 	}
 }
 
+// TestParseKeepsMinOfN: `go test -count N` repeats each benchmark line;
+// the recorded entry must be the fastest run.
+func TestParseKeepsMinOfN(t *testing.T) {
+	const repeated = `BenchmarkChurn-8   	 1000	       300.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkChurn-8   	 1200	       250.0 ns/op	       2 B/op	       0 allocs/op
+BenchmarkChurn-8   	 1100	       280.0 ns/op	       0 B/op	       0 allocs/op
+`
+	var echo strings.Builder
+	results, err := parse(strings.NewReader(repeated), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := results["BenchmarkChurn"]
+	if !ok {
+		t.Fatal("benchmark missing from results")
+	}
+	if m.NsPerOp != 250.0 {
+		t.Fatalf("ns/op = %v, want the 250.0 minimum of three runs", m.NsPerOp)
+	}
+	if m.Iterations != 1200 || m.BytesPerOp != 2 {
+		t.Fatalf("metrics = %+v, want the whole fastest-run record kept together", m)
+	}
+}
+
 func TestRunWritesSortedJSON(t *testing.T) {
 	outPath := filepath.Join(t.TempDir(), "bench.json")
 	var echo strings.Builder

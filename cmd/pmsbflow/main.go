@@ -246,6 +246,7 @@ func simulate(sc scenario, out io.Writer) error {
 		for _, s := range f.Sender.RTTSamples() {
 			rtt.Add(s.Seconds())
 		}
+		f.Sender.ReleaseRTTSamples()
 	}
 	fmt.Fprintf(out, "total: %.2f Gbps | weighted Jain index: %.3f | mark fraction: %.3f\n",
 		total, stats.WeightedJainIndex(rates, sc.weights),

@@ -1,0 +1,172 @@
+package pmsb_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/obs"
+	"pmsb/internal/sim"
+	"pmsb/internal/topo"
+	"pmsb/internal/transport"
+	"pmsb/internal/units"
+)
+
+// These tests are the scheduler acceptance gate: two real netsim
+// workloads, each run once under the calendar queue and once under the
+// reference heap, must produce byte-identical observability traces
+// (every enqueue, dequeue, mark, and flow event, in sequence), identical
+// FCTs, and identical processed-event counts. Any divergence in event
+// execution order — however slight — shows up here, because the trace
+// records the order side effects actually happened in.
+
+// workloadResult captures everything a workload run exposes.
+type workloadResult struct {
+	trace     []byte
+	fcts      []time.Duration
+	processed uint64
+}
+
+// runDumbbellWorkload is recorded workload 1: four DCTCP senders
+// sharing a PMSB-marked dumbbell bottleneck, with per-port tracing on
+// the bottleneck switch.
+func runDumbbellWorkload(t *testing.T, kind sim.QueueKind) workloadResult {
+	t.Helper()
+	eng := sim.NewEngineWithQueue(kind)
+	bus := obs.NewBus(1 << 16)
+	d := topo.NewDumbbell(eng, topo.DumbbellConfig{
+		Senders: 4,
+		Bottleneck: topo.PortProfile{
+			Weights:   topo.EqualWeights(4),
+			NewSched:  topo.DWRRFactory(eng),
+			NewMarker: func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+		},
+	})
+	d.Switch.Observe(bus)
+
+	var fid transport.FlowIDGen
+	var flows []*transport.Flow
+	for i := 0; i < 4; i++ {
+		f := transport.NewFlow(eng, d.Senders[i], d.Recv, fid.Next(), i%4, 400_000,
+			transport.Config{Obs: bus}, nil)
+		eng.ScheduleAt(time.Duration(i)*20*time.Microsecond, f.Sender.Start)
+		flows = append(flows, f)
+	}
+	eng.RunUntil(100 * time.Millisecond)
+
+	res := workloadResult{processed: eng.Processed()}
+	for _, f := range flows {
+		if !f.Sender.Finished() {
+			t.Fatalf("dumbbell flow %d did not finish", f.Sender.Flow())
+		}
+		res.fcts = append(res.fcts, f.Sender.FCT())
+	}
+	var buf bytes.Buffer
+	if err := bus.Ring().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res.trace = buf.Bytes()
+	return res
+}
+
+// runLeafSpineWorkload is recorded workload 2: 40 staggered flows over
+// the 48-host leaf-spine fabric with DWRR + PMSB on every port, tracing
+// one leaf and one spine (enough to fingerprint the fabric's entire
+// event order without a gigantic ring).
+func runLeafSpineWorkload(t *testing.T, kind sim.QueueKind) workloadResult {
+	t.Helper()
+	eng := sim.NewEngineWithQueue(kind)
+	bus := obs.NewBus(1 << 16)
+	ls := topo.NewLeafSpine(eng, topo.LeafSpineConfig{
+		Ports: topo.PortProfile{
+			Weights:     topo.EqualWeights(8),
+			NewSched:    topo.DWRRFactory(eng),
+			NewMarker:   func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+			BufferBytes: units.Packets(250),
+		},
+	})
+	ls.Leaves[0].Observe(bus)
+	ls.Spines[0].Observe(bus)
+
+	var fid transport.FlowIDGen
+	var flows []*transport.Flow
+	for i := 0; i < 40; i++ {
+		src, dst := i%48, (i*13+5)%48
+		if src == dst {
+			dst = (dst + 1) % 48
+		}
+		f := transport.NewFlow(eng, ls.Host(src), ls.Host(dst), fid.Next(), i%8, 100_000,
+			transport.Config{InitWindow: 16, Obs: bus}, nil)
+		eng.ScheduleAt(time.Duration(i)*30*time.Microsecond, f.Sender.Start)
+		flows = append(flows, f)
+	}
+	eng.RunUntil(200 * time.Millisecond)
+
+	res := workloadResult{processed: eng.Processed()}
+	for _, f := range flows {
+		if !f.Sender.Finished() {
+			t.Fatalf("leafspine flow %d did not finish", f.Sender.Flow())
+		}
+		res.fcts = append(res.fcts, f.Sender.FCT())
+	}
+	var buf bytes.Buffer
+	if err := bus.Ring().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res.trace = buf.Bytes()
+	return res
+}
+
+func assertIdenticalRuns(t *testing.T, name string, heap, cal workloadResult) {
+	t.Helper()
+	if heap.processed != cal.processed {
+		t.Errorf("%s: processed events differ: heap %d, calendar %d",
+			name, heap.processed, cal.processed)
+	}
+	if len(heap.fcts) != len(cal.fcts) {
+		t.Fatalf("%s: FCT counts differ", name)
+	}
+	for i := range heap.fcts {
+		if heap.fcts[i] != cal.fcts[i] {
+			t.Errorf("%s: flow %d FCT differs: heap %v, calendar %v",
+				name, i, heap.fcts[i], cal.fcts[i])
+		}
+	}
+	if !bytes.Equal(heap.trace, cal.trace) {
+		// Locate the first diverging line for a useful failure message.
+		hl := bytes.Split(heap.trace, []byte("\n"))
+		cl := bytes.Split(cal.trace, []byte("\n"))
+		n := len(hl)
+		if len(cl) < n {
+			n = len(cl)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(hl[i], cl[i]) {
+				t.Fatalf("%s: traces diverge at line %d:\n  heap:     %s\n  calendar: %s",
+					name, i, hl[i], cl[i])
+			}
+		}
+		t.Fatalf("%s: trace lengths differ: heap %d lines, calendar %d lines",
+			name, len(hl), len(cl))
+	}
+}
+
+func TestDifferentialDumbbellWorkload(t *testing.T) {
+	heap := runDumbbellWorkload(t, sim.QueueHeap)
+	cal := runDumbbellWorkload(t, sim.QueueCalendar)
+	if len(heap.trace) == 0 {
+		t.Fatal("empty trace: the workload recorded nothing")
+	}
+	assertIdenticalRuns(t, "dumbbell", heap, cal)
+}
+
+func TestDifferentialLeafSpineWorkload(t *testing.T) {
+	heap := runLeafSpineWorkload(t, sim.QueueHeap)
+	cal := runLeafSpineWorkload(t, sim.QueueCalendar)
+	if len(heap.trace) == 0 {
+		t.Fatal("empty trace: the workload recorded nothing")
+	}
+	assertIdenticalRuns(t, "leafspine", heap, cal)
+}

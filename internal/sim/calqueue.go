@@ -1,0 +1,355 @@
+package sim
+
+import "time"
+
+// calQueue is a lazy calendar queue: the engine's default scheduler.
+//
+// Near-future events live in an array of buckets, each covering one
+// `width`-wide slice of virtual time; the active window spans
+// len(buckets) consecutive slices starting at the bucket currently
+// being drained. Insert hashes the event's time to its bucket and chains
+// it into a (at, seq)-sorted intrusive list — O(1) for the common
+// time-ordered arrival (tail append), O(chain) otherwise, with resizing
+// keeping chains short. Pop drains the current bucket, then advances
+// slice by slice; each advance slides the window forward one slice and
+// lazily migrates due events in from the overflow tier.
+//
+// Far-future events — RTOs, tickers, anything scheduled beyond the
+// window — go to an overflow 4-ary heap (heapQueue) and pay one
+// O(log n) push+pop when they migrate in, typically long after the
+// timers they model were cancelled. This keeps the window dense, so the
+// amortized per-event cost of the bucket tier stays O(1) no matter how
+// many far timers are pending.
+//
+// Determinism: pop returns the exact (at, seq) minimum, byte-identical
+// to heapQueue's order. The argument (see DESIGN.md §6): buckets
+// partition time into slices scanned in increasing order, each chain is
+// kept sorted by (at, seq) on insert, and the overflow tier only holds
+// events at or beyond the window end — strictly later than anything the
+// scan can return. TestDifferentialQueues and the netsim workload
+// differential in differential_test.go verify this against heapQueue.
+type calQueue struct {
+	buckets []calBucket // power-of-two length
+	// width is the time slice per bucket: always 1<<shift nanoseconds,
+	// so the at->bucket hash is a shift instead of a 64-bit division
+	// (the division showed up at ~15% of the forwarding hot path).
+	width time.Duration
+	shift uint
+	count int // events resident in buckets (overflow excluded)
+
+	cur       int           // bucket currently being drained
+	bucketTop time.Duration // end of cur's time slice (multiple of width)
+	winEnd    time.Duration // end of the active window; events >= winEnd overflow
+	lastAt    time.Duration // time of the last popped event (monotone)
+
+	overflow heapQueue
+	scratch  []*event // rebuild workspace, reused across resizes
+}
+
+// calBucket chains events whose time hashes to this slice, sorted
+// ascending by (at, seq). The tail pointer makes the dominant
+// append-at-end insertion O(1), including long same-timestamp runs.
+type calBucket struct {
+	head, tail *event
+}
+
+const (
+	// calMinBuckets bounds shrinking so small simulations don't thrash
+	// resize; 64 near-empty buckets cost one pointer check each to skip.
+	calMinBuckets = 64
+	// calInitShift is the slice width exponent before the first resize
+	// computes a data-driven one: 2^10 ns ~= 1us (packet-level workloads
+	// cluster around microsecond-scale serialization deltas).
+	calInitShift = 10
+)
+
+func newCalQueue() *calQueue {
+	c := &calQueue{
+		buckets: make([]calBucket, calMinBuckets),
+		shift:   calInitShift,
+		width:   1 << calInitShift,
+	}
+	c.anchor(0)
+	return c
+}
+
+func (c *calQueue) len() int { return c.count + c.overflow.len() }
+
+// span is the width of the active window.
+func (c *calQueue) span() time.Duration {
+	return c.width * time.Duration(len(c.buckets))
+}
+
+// anchor positions the window so the slice containing time at is the
+// current bucket. Callers must migrate (or reinsert) afterwards if
+// overflow events may now fall inside the window.
+func (c *calQueue) anchor(at time.Duration) {
+	d := at >> c.shift
+	c.cur = int(uint64(d) & uint64(len(c.buckets)-1))
+	c.bucketTop = (d + 1) << c.shift
+	c.winEnd = c.bucketTop + c.width*time.Duration(len(c.buckets)-1)
+}
+
+// push inserts ev, routing far-future events to the overflow tier. The
+// grow trigger counts both tiers: the window must widen with the total
+// pending population, or a long-horizon workload would pool in the
+// overflow heap and pay its O(log n) on every event.
+func (c *calQueue) push(ev *event) {
+	if ev.at >= c.winEnd {
+		c.overflow.push(ev)
+	} else {
+		c.insertBucket(ev)
+		c.count++
+	}
+	if c.count+c.overflow.len() > 2*len(c.buckets) {
+		c.rebuild(2 * len(c.buckets))
+	}
+}
+
+// insertBucket chains ev into its slice's sorted list.
+func (c *calQueue) insertBucket(ev *event) {
+	b := &c.buckets[int(uint64(ev.at>>c.shift)&uint64(len(c.buckets)-1))]
+	switch {
+	case b.tail == nil:
+		ev.next = nil
+		b.head, b.tail = ev, ev
+	case !eventLess(ev, b.tail):
+		// Time-ordered arrival (and every same-timestamp run, since seq
+		// grows monotonically): append at the tail.
+		ev.next = nil
+		b.tail.next = ev
+		b.tail = ev
+	case eventLess(ev, b.head):
+		ev.next = b.head
+		b.head = ev
+	default:
+		p := b.head
+		for !eventLess(ev, p.next) {
+			p = p.next
+		}
+		ev.next = p.next
+		p.next = ev
+	}
+}
+
+// pop removes and returns the (at, seq)-minimum event, or nil when the
+// queue is empty.
+func (c *calQueue) pop() *event {
+	if c.count == 0 {
+		o := c.overflow.peek()
+		if o == nil {
+			return nil
+		}
+		// The window drained: jump it to the overflow minimum and pull
+		// the now-due tier in.
+		c.anchor(o.at)
+		c.migrate()
+	}
+	steps := 0
+	for {
+		b := &c.buckets[c.cur]
+		if ev := b.head; ev != nil && ev.at < c.bucketTop {
+			b.head = ev.next
+			if b.head == nil {
+				b.tail = nil
+			}
+			ev.next = nil
+			c.count--
+			c.lastAt = ev.at
+			if c.count+c.overflow.len() < len(c.buckets)/4 && len(c.buckets) > calMinBuckets {
+				c.rebuild(len(c.buckets) / 2)
+			}
+			return ev
+		}
+		// Empty slice: slide the window one slice forward. If the scan
+		// has crossed half the buckets the next event sits across a wide
+		// empty gap — long-jump straight to it instead of creeping
+		// (amortized: the jump's O(buckets) search is paid for by the
+		// O(buckets) of skipping we just avoided).
+		if steps++; steps > len(c.buckets)/2 {
+			c.anchor(c.directMin().at)
+			c.migrate()
+			steps = 0
+			continue
+		}
+		c.advance()
+	}
+}
+
+// peek returns the (at, seq)-minimum event without removing it, or nil.
+// It never mutates the queue, so interleaved peeks and pushes stay safe.
+func (c *calQueue) peek() *event {
+	var cand *event
+	if c.count > 0 {
+		cur, top := c.cur, c.bucketTop
+		for i := 0; i <= len(c.buckets); i++ {
+			b := &c.buckets[cur]
+			if ev := b.head; ev != nil && ev.at < top {
+				cand = ev
+				break
+			}
+			top += c.width
+			if cur++; cur == len(c.buckets) {
+				cur = 0
+			}
+		}
+		if cand == nil {
+			// Unreachable if the window invariant holds; fall back to an
+			// exact search rather than report an empty queue.
+			cand = c.directMin()
+		}
+	}
+	if o := c.overflow.peek(); o != nil && (cand == nil || eventLess(o, cand)) {
+		return o
+	}
+	return cand
+}
+
+// advance moves the scan to the next slice, sliding the window forward
+// and migrating overflow events that just became near-future.
+func (c *calQueue) advance() {
+	if c.cur++; c.cur == len(c.buckets) {
+		c.cur = 0
+	}
+	c.bucketTop += c.width
+	c.winEnd += c.width
+	c.migrate()
+}
+
+// migrate pulls overflow events that now fall inside the window into
+// their buckets.
+func (c *calQueue) migrate() {
+	for {
+		o := c.overflow.peek()
+		if o == nil || o.at >= c.winEnd {
+			return
+		}
+		c.insertBucket(c.overflow.pop())
+		c.count++
+	}
+}
+
+// directMin finds the earliest bucket event by comparing chain heads
+// (each chain is sorted, so its head is its minimum). Only valid with
+// count > 0.
+func (c *calQueue) directMin() *event {
+	var min *event
+	for i := range c.buckets {
+		if ev := c.buckets[i].head; ev != nil && (min == nil || eventLess(ev, min)) {
+			min = ev
+		}
+	}
+	return min
+}
+
+// rebuild resizes to nb buckets, recomputing the slice width from the
+// live events (both tiers) so the common case spreads across the window
+// with O(1) expected chain length and only genuine outliers return to
+// overflow. Runs in O(len); triggered only when the population crosses
+// a power-of-two threshold, so the cost amortizes to O(1) per operation.
+func (c *calQueue) rebuild(nb int) {
+	evs := c.collect()
+	for {
+		c.layout(nb, evs)
+		if c.count+c.overflow.len() <= 2*nb {
+			return
+		}
+		// The window left more of the population in overflow than the
+		// target chain length budgets for; grow again.
+		evs = c.collect()
+		nb *= 2
+	}
+}
+
+// collect drains every bucket chain and the overflow tier into the
+// scratch slice.
+func (c *calQueue) collect() []*event {
+	evs := c.scratch[:0]
+	for i := range c.buckets {
+		for ev := c.buckets[i].head; ev != nil; {
+			next := ev.next
+			ev.next = nil
+			evs = append(evs, ev)
+			ev = next
+		}
+		c.buckets[i] = calBucket{}
+	}
+	// The heap's internal layout is irrelevant here — layout reinserts
+	// by timestamp — so take its slice verbatim instead of popping in
+	// order.
+	o := c.overflow.events
+	for i, ev := range o {
+		evs = append(evs, ev)
+		o[i] = nil
+	}
+	c.overflow.events = o[:0]
+	c.scratch = evs
+	return evs
+}
+
+// layout applies a new geometry and reinserts evs (events now beyond
+// the window spill back to overflow).
+func (c *calQueue) layout(nb int, evs []*event) {
+	c.shift = chooseShift(c.shift, nb, evs)
+	c.width = 1 << c.shift
+	if len(c.buckets) != nb {
+		c.buckets = make([]calBucket, nb)
+	}
+	c.anchor(c.lastAt)
+	c.count = 0
+	for _, ev := range evs {
+		if ev.at >= c.winEnd {
+			c.overflow.push(ev)
+		} else {
+			c.insertBucket(ev)
+			c.count++
+		}
+	}
+	c.migrate()
+}
+
+// chooseShift picks the slice width exponent (width = 2^shift ns) for
+// nb buckets from an *effective* span: four times the events' mean
+// offset past their minimum, capped at the true span. For a uniform
+// spread that is ~2x the span, so the window covers every event at
+// ~0.5 per bucket; for a skewed population (a dense near-future cluster
+// plus a few far tickers or RTOs) the mean keeps the window sized for
+// the cluster while the outliers return to the overflow tier — using
+// the raw span there would stretch the slices until the whole cluster
+// crowded into one chain. The width rounds up to a power of two so the
+// at->bucket hash stays a shift. Degenerate spans (fewer than two
+// events, or all at one instant) keep the previous width: any width
+// drains a point cluster in O(1) per pop once the scan reaches it. The
+// choice depends only on queue content, never on wall-clock state, so
+// identical runs resize identically (determinism).
+func chooseShift(old uint, nb int, evs []*event) uint {
+	if len(evs) < 2 {
+		return old
+	}
+	lo, hi := evs[0].at, evs[0].at
+	for _, ev := range evs[1:] {
+		if ev.at < lo {
+			lo = ev.at
+		}
+		if ev.at > hi {
+			hi = ev.at
+		}
+	}
+	if hi == lo {
+		return old
+	}
+	var sum time.Duration
+	for _, ev := range evs {
+		sum += ev.at - lo
+	}
+	span := 4 * (sum / time.Duration(len(evs)))
+	if span > hi-lo || span <= 0 {
+		span = hi - lo
+	}
+	width := span/time.Duration(nb) + 1
+	var shift uint
+	for time.Duration(1)<<shift < width {
+		shift++
+	}
+	return shift
+}

@@ -1,11 +1,15 @@
 // Package sim implements the deterministic discrete-event engine that
 // drives the packet-level network simulator.
 //
-// The engine keeps a 4-ary heap of pending events ordered by
-// (time, sequence). The sequence number breaks ties in FIFO order so a
-// simulation with the same inputs always executes events in the same
-// order, which makes every experiment in this repository reproducible
-// bit-for-bit.
+// The engine orders pending events by (time, sequence). The sequence
+// number breaks ties in FIFO order so a simulation with the same inputs
+// always executes events in the same order, which makes every
+// experiment in this repository reproducible bit-for-bit. Two
+// schedulers implement that contract behind the eventQueue interface: a
+// lazy calendar queue (the default — O(1) amortized insert/pop, with an
+// overflow heap tier for far-future timers) and the original 4-ary heap
+// (O(log n), kept as the reference for differential determinism tests
+// and selectable via NewEngineWithQueue).
 //
 // Two scheduling forms exist. Schedule/ScheduleAt take a plain func()
 // closure — convenient, but every call site that captures state
@@ -20,11 +24,33 @@ import (
 	"time"
 )
 
+// eventQueue is the engine's pluggable pending-event store. Pop and
+// peek must return the exact (at, seq) minimum — the total order every
+// implementation is required to reproduce byte-identically.
+type eventQueue interface {
+	push(ev *event)
+	pop() *event  // remove and return the minimum; nil when empty
+	peek() *event // the minimum without removing it; nil when empty
+	len() int
+}
+
+// QueueKind selects the engine's scheduler implementation.
+type QueueKind int
+
+const (
+	// QueueCalendar is the default: a lazy calendar queue with O(1)
+	// amortized insert/pop and a heap overflow tier for far timers.
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the 4-ary min-heap: O(log n) insert/pop. Kept as the
+	// reference implementation for differential determinism tests.
+	QueueHeap
+)
+
 // Engine is a single-threaded discrete-event scheduler. The zero value
 // is not usable; construct with NewEngine.
 type Engine struct {
 	now     time.Duration
-	events  []*event // 4-ary min-heap on (at, seq)
+	q       eventQueue
 	seq     uint64
 	stopped bool
 	// processed counts executed events, useful for progress reporting
@@ -33,20 +59,35 @@ type Engine struct {
 	// free recycles event records: packet-level simulations schedule
 	// millions of events, and reusing the records removes the dominant
 	// allocation from the hot loop. Generation tags keep stale Timer
-	// handles inert after reuse.
-	free []*event
+	// handles inert after reuse. The list is bounded by the high-water
+	// mark of Pending() (floor 1024), so a large fabric's record
+	// population survives drain/refill cycles without re-allocating.
+	free    []*event
+	hiwater int
 }
 
-// NewEngine returns an engine with virtual time zero and no events.
+// NewEngine returns an engine with virtual time zero and no events,
+// scheduled by the calendar queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWithQueue(QueueCalendar)
+}
+
+// NewEngineWithQueue returns an engine using the given scheduler
+// implementation. Both kinds execute identical workloads in identical
+// order; QueueHeap exists for differential tests and A/B benchmarks.
+func NewEngineWithQueue(kind QueueKind) *Engine {
+	if kind == QueueHeap {
+		return &Engine{q: &heapQueue{}}
+	}
+	return &Engine{q: newCalQueue()}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Pending returns the number of scheduled, not-yet-executed events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of scheduled, not-yet-executed events
+// (cancelled events count until their time arrives).
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -82,8 +123,22 @@ func (t *Timer) Active() bool {
 	return t.live() && !t.ev.cancelled && !t.ev.fired
 }
 
+// When returns the virtual time the timer is scheduled to fire and
+// whether the handle still refers to a pending event. It distinguishes
+// a real time-0 schedule (0, true) from a fired, cancelled, or recycled
+// handle (0, false) — the ambiguity At cannot resolve.
+func (t *Timer) When() (time.Duration, bool) {
+	if !t.Active() {
+		return 0, false
+	}
+	return t.ev.at, true
+}
+
 // At returns the virtual time the timer is scheduled to fire (0 once
 // the event record was recycled).
+//
+// Deprecated: a 0 return is ambiguous — it may be a genuine time-0
+// schedule or a recycled handle. Use When, which reports liveness.
 func (t *Timer) At() time.Duration {
 	if !t.live() {
 		return 0
@@ -132,7 +187,7 @@ func (e *Engine) ScheduleCallAt(at time.Duration, fn func(any), arg any) Timer {
 
 // insert takes an event record from the free list (or allocates one),
 // stamps it with the clamped time and next sequence number, and pushes
-// it onto the heap. The caller fills in the callback.
+// it onto the queue. The caller fills in the callback.
 func (e *Engine) insert(at time.Duration) *event {
 	if at < e.now {
 		at = e.now
@@ -149,20 +204,28 @@ func (e *Engine) insert(at time.Duration) *event {
 	ev.at = at
 	ev.seq = e.seq
 	e.seq++
-	e.push(ev)
+	e.q.push(ev)
+	if n := e.q.len(); n > e.hiwater {
+		e.hiwater = n
+	}
 	return ev
 }
 
 // recycle returns an executed or cancelled event record to the pool,
 // bumping its generation so outstanding Timer handles go inert. The
 // callback and arg are cleared so recycled records don't pin dead
-// closures or packets.
+// closures or packets. The pool is bounded by the engine's pending
+// high-water mark so it adapts to the fabric's real event population.
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
 	ev.callFn = nil
 	ev.arg = nil
-	if len(e.free) < 1024 {
+	cap := e.hiwater
+	if cap < 1024 {
+		cap = 1024
+	}
+	if len(e.free) < cap {
 		e.free = append(e.free, ev)
 	}
 }
@@ -170,8 +233,11 @@ func (e *Engine) recycle(ev *event) {
 // Step executes the single earliest pending event. It reports whether
 // an event was executed.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := e.pop()
+	for {
+		ev := e.q.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.cancelled {
 			e.recycle(ev)
 			continue
@@ -188,7 +254,6 @@ func (e *Engine) Step() bool {
 		}
 		return true
 	}
-	return false
 }
 
 // Run executes events until none remain or Stop is called.
@@ -228,15 +293,19 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 // simulation left off.
 func (e *Engine) Stop() { e.stopped = true }
 
+// peek returns the earliest live event, lazily reaping cancelled ones.
 func (e *Engine) peek() *event {
-	for len(e.events) > 0 {
-		if e.events[0].cancelled {
-			e.recycle(e.pop())
+	for {
+		ev := e.q.peek()
+		if ev == nil {
+			return nil
+		}
+		if ev.cancelled {
+			e.recycle(e.q.pop())
 			continue
 		}
-		return e.events[0]
+		return ev
 	}
-	return nil
 }
 
 // Ticker runs a callback at a fixed virtual-time interval until
@@ -288,11 +357,14 @@ func (t *Ticker) Stop() {
 	t.timer.Cancel()
 }
 
-// event is a heap node. Exactly one of fn / callFn is set.
+// event is a pending-event record. Exactly one of fn / callFn is set.
+// next chains events inside a calendar-queue bucket; it is nil whenever
+// the event is not resident in a bucket.
 type event struct {
 	at        time.Duration
 	seq       uint64
 	gen       uint64
+	next      *event
 	fn        func()
 	callFn    func(any)
 	arg       any
@@ -302,63 +374,10 @@ type event struct {
 
 // eventLess orders events by (time, sequence): a strict total order, so
 // the pop sequence — and therefore every simulation — is independent of
-// the heap's internal layout.
+// the queue's internal layout.
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
-}
-
-// push and pop maintain a 4-ary min-heap directly on the event slice.
-// Compared to container/heap this removes the interface round trip
-// (method dispatch and the any boxing in Push/Pop) and, with four
-// children per node, roughly halves the tree depth — fewer swaps per
-// operation on the deep heaps a large fabric builds up.
-func (e *Engine) push(ev *event) {
-	h := append(e.events, ev)
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !eventLess(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-	e.events = h
-}
-
-func (e *Engine) pop() *event {
-	h := e.events
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = nil
-	h = h[:n]
-	e.events = h
-	// Sift the relocated tail element down to its place.
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		best := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if eventLess(h[c], h[best]) {
-				best = c
-			}
-		}
-		if !eventLess(h[best], h[i]) {
-			break
-		}
-		h[i], h[best] = h[best], h[i]
-		i = best
-	}
-	return top
 }

@@ -68,7 +68,10 @@ func TestScheduleCallTimerCancel(t *testing.T) {
 	if !timer.Active() {
 		t.Fatal("timer should be active")
 	}
-	if timer.At() != time.Second {
+	if at, ok := timer.When(); !ok || at != time.Second {
+		t.Fatalf("When() = %v, %v, want 1s, true", at, ok)
+	}
+	if timer.At() != time.Second { // deprecated accessor still works
 		t.Fatalf("At() = %v, want 1s", timer.At())
 	}
 	if !timer.Cancel() {
@@ -85,6 +88,9 @@ func TestZeroTimerInert(t *testing.T) {
 	var timer Timer
 	if timer.Active() || timer.Cancel() || timer.At() != 0 {
 		t.Fatal("zero Timer must be inert")
+	}
+	if _, ok := timer.When(); ok {
+		t.Fatal("zero Timer must report no pending time")
 	}
 }
 

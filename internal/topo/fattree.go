@@ -1,0 +1,186 @@
+package topo
+
+import (
+	"time"
+
+	"pmsb/internal/netsim"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+	"pmsb/internal/units"
+)
+
+// FatTreeConfig parametrizes a k-ary fat-tree (Al-Fares et al.): k pods,
+// each with k/2 edge and k/2 aggregation switches, (k/2)^2 cores, and
+// k^3/4 hosts. All links share one rate, so the fabric is full
+// bisection; it is the scale topology the calendar-queue scheduler is
+// benchmarked on (BenchmarkFatTree).
+type FatTreeConfig struct {
+	// K is the switch radix; must be even (default 4). k=8 yields 128
+	// hosts, 32 edge, 32 aggregation, and 16 core switches.
+	K int
+	// Rate is the capacity of every link (default 10 Gbps).
+	Rate units.Rate
+	// Delay is the one-way propagation delay per link (default 1us).
+	Delay time.Duration
+	// Ports configures every switch port (required).
+	Ports PortProfile
+}
+
+// FatTree is the instantiated fabric.
+type FatTree struct {
+	// Eng is the driving engine.
+	Eng *sim.Engine
+	// Hosts are all hosts; Hosts[i] has NodeID i+1.
+	Hosts []*netsim.Host
+	// Edges, Aggs and Cores are the three switch tiers. Edges and Aggs
+	// are pod-major: pod p owns indices [p*k/2, (p+1)*k/2).
+	Edges, Aggs, Cores []*netsim.Switch
+
+	cfg FatTreeConfig
+}
+
+// NewFatTree wires the fabric. Every switch port gets the configured
+// scheduler/marker profile; host NICs are plain FIFOs.
+//
+// Port layout (half = k/2):
+//   - edge: ports 0..half-1 down to hosts, half..k-1 up to the pod's
+//     aggregation switches (agg j at port half+j).
+//   - agg j (index within its pod): ports 0..half-1 down to the pod's
+//     edge switches, half..k-1 up to cores j*half..j*half+half-1.
+//   - core: port p down to pod p (via the one agg it attaches to).
+func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.K%2 != 0 {
+		panic("topo: fat-tree K must be even")
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 10 * units.Gbps
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = time.Microsecond
+	}
+
+	k := cfg.K
+	half := k / 2
+	pods := k
+	hostsPerPod := half * half
+	nHosts := pods * hostsPerPod
+
+	ft := &FatTree{Eng: eng, cfg: cfg}
+	for i := 0; i < pods*half; i++ {
+		ft.Edges = append(ft.Edges, netsim.NewSwitch(eng, pkt.NodeID(1001+i)))
+		ft.Aggs = append(ft.Aggs, netsim.NewSwitch(eng, pkt.NodeID(2001+i)))
+	}
+	for i := 0; i < half*half; i++ {
+		ft.Cores = append(ft.Cores, netsim.NewSwitch(eng, pkt.NodeID(3001+i)))
+	}
+
+	link := func(to netsim.Node) *netsim.Link {
+		return netsim.NewLink(eng, cfg.Rate, cfg.Delay, to)
+	}
+
+	// Hosts and host<->edge links. Host i lives in pod i/hostsPerPod on
+	// edge (i%hostsPerPod)/half at down-port i%half.
+	for i := 0; i < nHosts; i++ {
+		edge := ft.Edges[i/hostsPerPod*half+(i%hostsPerPod)/half]
+		h := netsim.NewHost(eng, pkt.NodeID(i+1))
+		h.AttachNIC(link(edge))
+		edge.AddPort(cfg.Ports.newPort(eng, link(h)))
+		ft.Hosts = append(ft.Hosts, h)
+	}
+
+	// Edge<->agg links, pod by pod, interleaved so each switch's ports
+	// appear in index order (edge down-ports were added above).
+	for p := 0; p < pods; p++ {
+		for e := 0; e < half; e++ {
+			edge := ft.Edges[p*half+e]
+			for j := 0; j < half; j++ {
+				edge.AddPort(cfg.Ports.newPort(eng, link(ft.Aggs[p*half+j])))
+			}
+		}
+		for j := 0; j < half; j++ {
+			agg := ft.Aggs[p*half+j]
+			for e := 0; e < half; e++ {
+				agg.AddPort(cfg.Ports.newPort(eng, link(ft.Edges[p*half+e])))
+			}
+		}
+	}
+	// Agg<->core links: agg j (in every pod) owns cores j*half..j*half+half-1.
+	for p := 0; p < pods; p++ {
+		for j := 0; j < half; j++ {
+			agg := ft.Aggs[p*half+j]
+			for i := 0; i < half; i++ {
+				agg.AddPort(cfg.Ports.newPort(eng, link(ft.Cores[j*half+i])))
+			}
+		}
+	}
+	// Core down-ports in pod order, so port p reaches pod p.
+	for c, core := range ft.Cores {
+		for p := 0; p < pods; p++ {
+			core.AddPort(cfg.Ports.newPort(eng, link(ft.Aggs[p*half+c/half])))
+		}
+	}
+
+	// Routing. Up-paths use flow-level ECMP; the agg tier salts the hash
+	// so the core choice decorrelates from the edge tier's agg choice
+	// (same hash mod the same divisor at both tiers would polarize).
+	hostPod := func(dst pkt.NodeID) int { return (int(dst) - 1) / hostsPerPod }
+	hostEdge := func(dst pkt.NodeID) int { return ((int(dst) - 1) % hostsPerPod) / half }
+	hostDown := func(dst pkt.NodeID) int { return (int(dst) - 1) % half }
+	for i, edge := range ft.Edges {
+		p, e := i/half, i%half
+		edge.SetRoute(func(pk *pkt.Packet) int {
+			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
+				return -1
+			}
+			if hostPod(pk.Dst) == p && hostEdge(pk.Dst) == e {
+				return hostDown(pk.Dst)
+			}
+			return half + int(ecmpHash(uint64(pk.Flow))%uint64(half))
+		})
+	}
+	for i, agg := range ft.Aggs {
+		p := i / half
+		agg.SetRoute(func(pk *pkt.Packet) int {
+			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
+				return -1
+			}
+			if hostPod(pk.Dst) == p {
+				return hostEdge(pk.Dst)
+			}
+			return half + int(ecmpHash(uint64(pk.Flow)^ecmpAggSalt)%uint64(half))
+		})
+	}
+	for _, core := range ft.Cores {
+		core.SetRoute(func(pk *pkt.Packet) int {
+			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
+				return -1
+			}
+			return hostPod(pk.Dst)
+		})
+	}
+	return ft
+}
+
+// ecmpAggSalt decorrelates the aggregation tier's ECMP hash from the
+// edge tier's.
+const ecmpAggSalt = 0x5bd1e995
+
+// NumHosts returns the host count (k^3/4).
+func (ft *FatTree) NumHosts() int { return len(ft.Hosts) }
+
+// Host returns host by index (0-based).
+func (ft *FatTree) Host(i int) *netsim.Host { return ft.Hosts[i] }
+
+// BaseRTT returns the unloaded inter-pod RTT estimate (host -> edge ->
+// agg -> core -> agg -> edge -> host and back): the value used for ECN
+// threshold derivation at fat-tree scale.
+func (ft *FatTree) BaseRTT() time.Duration {
+	// 6 links each way.
+	prop := 12 * ft.cfg.Delay
+	dataSer := 6 * units.Serialization(units.MTU, ft.cfg.Rate)
+	ackSer := 6 * units.Serialization(units.AckSize, ft.cfg.Rate)
+	return prop + dataSer + ackSer
+}

@@ -1,0 +1,118 @@
+package topo
+
+import (
+	"testing"
+
+	"pmsb/internal/netsim"
+	"pmsb/internal/pkt"
+	"pmsb/internal/sim"
+	"pmsb/internal/transport"
+)
+
+func TestFatTreeWiring(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 8, Ports: fifoProfile()})
+	if ft.NumHosts() != 128 {
+		t.Fatalf("hosts = %d, want 128", ft.NumHosts())
+	}
+	if len(ft.Edges) != 32 || len(ft.Aggs) != 32 || len(ft.Cores) != 16 {
+		t.Fatalf("switches = %d/%d/%d, want 32/32/16",
+			len(ft.Edges), len(ft.Aggs), len(ft.Cores))
+	}
+	for _, sw := range append(append([]*netsim.Switch{}, ft.Edges...), ft.Aggs...) {
+		if sw.NumPorts() != 8 {
+			t.Fatalf("switch %d ports = %d, want 8", sw.NodeID(), sw.NumPorts())
+		}
+	}
+	for _, sw := range ft.Cores {
+		if sw.NumPorts() != 8 { // one per pod
+			t.Fatalf("core %d ports = %d, want 8", sw.NodeID(), sw.NumPorts())
+		}
+	}
+}
+
+func TestFatTreeAllPairsReachable(t *testing.T) {
+	// Route-level check without transports: k=4 keeps all-pairs cheap
+	// (16 hosts, 240 packets) while still crossing every tier.
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Ports: fifoProfile()})
+	n := ft.NumHosts()
+	if n != 16 {
+		t.Fatalf("hosts = %d, want 16", n)
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			ft.Host(src).Send(&pkt.Packet{
+				Flow: pkt.FlowID(src*n + dst),
+				Src:  pkt.NodeID(src + 1),
+				Dst:  pkt.NodeID(dst + 1),
+				Size: 100,
+			})
+		}
+	}
+	eng.Run()
+	var delivered int64
+	for _, h := range ft.Hosts {
+		delivered += h.RxPackets()
+	}
+	if want := int64(n * (n - 1)); delivered != want {
+		t.Fatalf("delivered %d packets, want %d", delivered, want)
+	}
+	all := append(append(append([]*netsim.Switch{}, ft.Edges...), ft.Aggs...), ft.Cores...)
+	for _, sw := range all {
+		if sw.RouteDrops() != 0 {
+			t.Fatalf("switch %d dropped %d packets for lack of routes",
+				sw.NodeID(), sw.RouteDrops())
+		}
+	}
+}
+
+func TestFatTreeInterPodFlow(t *testing.T) {
+	// A DCTCP flow crossing the core tier completes and delivers every
+	// byte in order.
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Ports: fifoProfile()})
+	src, dst := ft.Host(0), ft.Host(15) // pod 0 -> pod 3
+	const size = 200_000
+	f := transport.NewFlow(eng, src, dst, 1, 0, size, transport.Config{}, nil)
+	f.Sender.Start()
+	eng.Run()
+	if !f.Sender.Finished() {
+		t.Fatal("inter-pod flow did not finish")
+	}
+	if got := f.Receiver.Goodput(); got != size {
+		t.Fatalf("goodput = %d, want %d", got, size)
+	}
+}
+
+func TestFatTreeECMPSpread(t *testing.T) {
+	// Many flows between the same pod pair must spread across several
+	// core switches (flow-level ECMP, salted at the agg tier).
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 8, Ports: fifoProfile()})
+	for fl := 0; fl < 64; fl++ {
+		ft.Host(0).Send(&pkt.Packet{
+			Flow: pkt.FlowID(fl + 1),
+			Src:  1,
+			Dst:  pkt.NodeID(ft.NumHosts()),
+			Size: 100,
+		})
+	}
+	eng.Run()
+	coresUsed := 0
+	for _, c := range ft.Cores {
+		var tx int64
+		for i := 0; i < c.NumPorts(); i++ {
+			tx += c.Port(i).TxPackets()
+		}
+		if tx > 0 {
+			coresUsed++
+		}
+	}
+	if coresUsed < 4 {
+		t.Fatalf("64 flows used only %d core switches", coresUsed)
+	}
+}

@@ -24,9 +24,11 @@ type Receiver struct {
 	service int
 
 	rcvNxt int64
-	// ooo holds out-of-order segments (seq -> payload length) until the
-	// gap before them fills.
-	ooo map[int64]int64
+	// ooo holds out-of-order segments, sorted by sequence number, until
+	// the gap before them fills. The backing array is reused for the
+	// flow's lifetime, so steady-state reassembly never allocates — and
+	// in-order flows never allocate it at all.
+	ooo []oooSeg
 
 	rxBytes   int64 // goodput: in-order payload bytes delivered
 	rxPackets int64
@@ -39,6 +41,11 @@ type Receiver struct {
 	pending  int           // data packets since the last ACK
 	lastEcho time.Duration
 	flushT   sim.Timer
+	// flushAt is when the currently held ACK must escape. The timer is
+	// lazy: an ACK that empties the hold leaves the armed event in
+	// place (its handler no-ops on pending == 0 or re-arms for a later
+	// hold), so coalescing never cancels or reschedules events.
+	flushAt time.Duration
 
 	nextPktID uint64
 }
@@ -71,7 +78,6 @@ func NewReceiver(eng *sim.Engine, dst *netsim.Host, f pkt.FlowID, src pkt.NodeID
 		flow:    f,
 		src:     src,
 		service: service,
-		ooo:     make(map[int64]int64),
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -112,18 +118,9 @@ func (r *Receiver) handleData(p *pkt.Packet) {
 	case p.Seq == r.rcvNxt:
 		r.rcvNxt += payload
 		r.rxBytes += payload
-		// Fill from the out-of-order store.
-		for {
-			l, ok := r.ooo[r.rcvNxt]
-			if !ok {
-				break
-			}
-			delete(r.ooo, r.rcvNxt)
-			r.rcvNxt += l
-			r.rxBytes += l
-		}
+		r.oooFill()
 	case p.Seq > r.rcvNxt:
-		r.ooo[p.Seq] = payload
+		r.oooStore(p.Seq, payload)
 	default:
 		// Duplicate of already-delivered data; ACK restates rcvNxt.
 	}
@@ -148,32 +145,89 @@ func (r *Receiver) handleData(p *pkt.Packet) {
 	r.ceState = p.CE
 	r.lastEcho = p.SentAt
 	r.pending++
+	if r.pending == 1 {
+		r.flushAt = r.eng.Now() + r.ackDelay
+	}
 	if r.pending >= r.ackEvery {
 		r.sendAck(r.rcvNxt, r.ceState, r.lastEcho)
 		r.resetPending()
 		return
 	}
-	// Arm the flush timer so a held ACK (e.g. a flow's final odd
-	// segment) escapes without waiting for the sender's RTO.
+	// Make sure a flush event is armed so a held ACK (e.g. a flow's
+	// final odd segment) escapes without waiting for the sender's RTO.
+	// A leftover event from an earlier hold fires first and re-arms for
+	// the remainder.
 	if !r.flushT.Active() {
 		r.flushT = r.eng.ScheduleCall(r.ackDelay, receiverFlush, r)
 	}
 }
 
 // receiverFlush is the delayed-ACK flush trampoline (the receiver rides
-// in the event arg so arming the timer never allocates).
+// in the event arg so arming the timer never allocates). The timer is
+// lazy: a fire with nothing held dies quietly, a fire before the
+// current hold's deadline re-arms for the remainder.
 func receiverFlush(arg any) {
 	r := arg.(*Receiver)
-	if r.pending > 0 {
-		r.sendAck(r.rcvNxt, r.ceState, r.lastEcho)
-		r.pending = 0
+	if r.pending == 0 {
+		return
 	}
+	if now := r.eng.Now(); now < r.flushAt {
+		r.flushT = r.eng.ScheduleCall(r.flushAt-now, receiverFlush, r)
+		return
+	}
+	r.sendAck(r.rcvNxt, r.ceState, r.lastEcho)
+	r.pending = 0
 }
 
-// resetPending clears the coalescing state and any armed flush timer.
+// resetPending clears the coalescing state. Any armed flush event is
+// left to fire and find nothing held.
 func (r *Receiver) resetPending() {
 	r.pending = 0
-	r.flushT.Cancel()
+}
+
+// oooSeg is one buffered out-of-order segment: payload bytes
+// [seq, seq+len).
+type oooSeg struct {
+	seq, len int64
+}
+
+// oooStore buffers an out-of-order segment in sequence order. A
+// duplicate (same starting sequence — go-back-N retransmissions slice
+// segments identically) overwrites in place.
+func (r *Receiver) oooStore(seq, length int64) {
+	lo, hi := 0, len(r.ooo)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.ooo[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.ooo) && r.ooo[lo].seq == seq {
+		r.ooo[lo].len = length
+		return
+	}
+	r.ooo = append(r.ooo, oooSeg{})
+	copy(r.ooo[lo+1:], r.ooo[lo:])
+	r.ooo[lo] = oooSeg{seq: seq, len: length}
+}
+
+// oooFill consumes buffered segments made contiguous by an advance of
+// rcvNxt, in one pass. Segments the cumulative advance overtook
+// (already-delivered duplicates) are discarded.
+func (r *Receiver) oooFill() {
+	k := 0
+	for k < len(r.ooo) && r.ooo[k].seq <= r.rcvNxt {
+		if s := r.ooo[k]; s.seq == r.rcvNxt {
+			r.rcvNxt += s.len
+			r.rxBytes += s.len
+		}
+		k++
+	}
+	if k > 0 {
+		r.ooo = r.ooo[:copy(r.ooo, r.ooo[k:])]
+	}
 }
 
 // sendAck emits a cumulative ACK up to ackNo with the given ECE echo.

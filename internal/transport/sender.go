@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"sync"
 	"time"
 
 	"pmsb/internal/netsim"
@@ -39,9 +40,16 @@ type Sender struct {
 	recovering     bool
 	recoverSeq     int64
 
-	rtoTimer   sim.Timer
-	rtoBackoff int
-	srtt       time.Duration
+	rtoTimer sim.Timer
+	// rtoDeadline is when the outstanding data actually times out. The
+	// timer is lazy: every ACK pushes the deadline forward without
+	// touching the armed event, and the fire handler re-arms for the
+	// remainder. This keeps one pending RTO event per flow instead of a
+	// cancelled record per ACK — the allocation churn that used to
+	// dominate the transport benchmarks.
+	rtoDeadline time.Duration
+	rtoBackoff  int
+	srtt        time.Duration
 
 	// Pacing state for rate-limited senders.
 	nextSendAt time.Duration
@@ -139,11 +147,47 @@ func (s *Sender) MarksSeen() int64 { return s.marksSeen }
 // MarksAccepted returns the number of marks the sender reacted to.
 func (s *Sender) MarksAccepted() int64 { return s.marksAccepted }
 
+// rttSamplePool recycles sample slices across flows, so the many
+// short flows of a workload sweep record RTTs without growing a fresh
+// slice each (see ReleaseRTTSamples).
+var rttSamplePool = sync.Pool{
+	New: func() any { return make([]time.Duration, 0, 1024) },
+}
+
 // RecordRTT makes the sender keep every RTT sample (for CDF plots).
-func (s *Sender) RecordRTT() { s.recordRTT = true }
+// The sample slice comes from a shared pool and is sized up front for
+// bounded flows, so recording adds no per-ACK allocations.
+func (s *Sender) RecordRTT() {
+	s.recordRTT = true
+	if s.rttSamples != nil {
+		return
+	}
+	if s.size > 0 {
+		// One sample per full segment is the ceiling; reserve exactly
+		// that for mid-size flows. Huge flows fall through to the pool
+		// and grow organically rather than pinning megabyte reservations.
+		if need := int(s.size/int64(s.cfg.MSS)) + 16; need > 1024 && need <= 4096 {
+			s.rttSamples = make([]time.Duration, 0, need)
+			return
+		}
+	}
+	s.rttSamples = rttSamplePool.Get().([]time.Duration)[:0]
+}
 
 // RTTSamples returns the recorded samples (RecordRTT must be on).
 func (s *Sender) RTTSamples() []time.Duration { return s.rttSamples }
+
+// ReleaseRTTSamples returns the sample slice to the shared pool. Call
+// it once the samples have been consumed; the slice returned by
+// RTTSamples must not be used afterwards.
+func (s *Sender) ReleaseRTTSamples() {
+	if s.rttSamples == nil {
+		return
+	}
+	rttSamplePool.Put(s.rttSamples[:0])
+	s.rttSamples = nil
+	s.recordRTT = false
+}
 
 // AckedBytes returns the cumulative acknowledged bytes.
 func (s *Sender) AckedBytes() int64 { return s.sndUna }
@@ -222,7 +266,7 @@ func (s *Sender) sendSegment(seq int64, retx bool) {
 // itself rides in the event arg, so (re)arming the per-packet pacing
 // and retransmission timers never allocates.
 func senderPace(arg any) { arg.(*Sender).trySend() }
-func senderRTO(arg any)  { arg.(*Sender).onRTO() }
+func senderRTO(arg any)  { arg.(*Sender).onRTOTimer() }
 
 // schedulePace arms a timer to resume sending when pacing allows.
 func (s *Sender) schedulePace() {
@@ -364,10 +408,13 @@ func (s *Sender) onDupAck() {
 	}
 }
 
-// armRTO (re)schedules the retransmission timer while data is in flight.
+// armRTO moves the retransmission deadline while data is in flight. An
+// already-armed timer that fires at or before the new deadline is left
+// alone — its handler re-arms for the remainder — so the steady ACK
+// stream never cancels or reschedules events.
 func (s *Sender) armRTO() {
-	s.rtoTimer.Cancel()
 	if s.inflight() == 0 || s.finished {
+		s.rtoTimer.Cancel()
 		return
 	}
 	rto := s.cfg.MinRTO
@@ -375,7 +422,30 @@ func (s *Sender) armRTO() {
 		rto = est
 	}
 	rto <<= s.rtoBackoff
+	s.rtoDeadline = s.eng.Now() + rto
+	if at, ok := s.rtoTimer.When(); ok {
+		if at <= s.rtoDeadline {
+			return
+		}
+		// The deadline moved earlier (RTO shrank after a backoff reset):
+		// re-arm precisely rather than time out late.
+		s.rtoTimer.Cancel()
+	}
 	s.rtoTimer = s.eng.ScheduleCall(rto, senderRTO, s)
+}
+
+// onRTOTimer fires when the armed RTO event expires. If ACKs have
+// pushed the real deadline past the armed time, sleep out the
+// remainder; otherwise the outstanding data genuinely timed out.
+func (s *Sender) onRTOTimer() {
+	if s.finished || s.inflight() == 0 {
+		return
+	}
+	if now := s.eng.Now(); now < s.rtoDeadline {
+		s.rtoTimer = s.eng.ScheduleCall(s.rtoDeadline-now, senderRTO, s)
+		return
+	}
+	s.onRTO()
 }
 
 // onRTO handles a retransmission timeout: go-back-N restart from sndUna
