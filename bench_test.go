@@ -2,6 +2,7 @@ package pmsb_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -258,23 +259,77 @@ func runFatTreeOnce(b *testing.B) {
 			BufferBytes: units.Packets(250),
 		},
 	})
+	driveFatTreeFlows(b, ft, nil)
+}
+
+// driveFatTreeFlows launches the shared 2048-flow workload over ft and
+// runs it to completion on coord (or serially on ft.Eng when coord is
+// nil). One completion closure is shared by every flow and the flows are
+// released afterwards, so repeated runs recycle transport state through
+// the pools instead of re-allocating 2048 senders/receivers per
+// iteration.
+func driveFatTreeFlows(b *testing.B, ft *topo.FatTree, coord *sim.Coordinator) {
+	b.Helper()
 	const flows = 2048
 	n := ft.NumHosts()
 	var fid transport.FlowIDGen
-	completed := 0
+	// Completions fire on whichever shard worker owns the sending host,
+	// so the shared counter must be atomic under a coordinator.
+	var completed atomic.Int64
+	onDone := func(*transport.Sender) { completed.Add(1) }
+	launched := make([]*transport.Flow, 0, flows)
 	for i := 0; i < flows; i++ {
 		// Deterministic pseudo-random pairs via the topo hash's mixing
 		// constant; starts stagger over 2ms so all flows overlap.
 		src := (i * 0x9e37) % n
 		dst := (src + 1 + (i*0x79b9)%(n-1)) % n
-		f := transport.NewFlow(eng, ft.Host(src), ft.Host(dst), fid.Next(), i%8, 50_000,
-			transport.Config{InitWindow: 16}, func(*transport.Sender) { completed++ })
-		eng.ScheduleAt(time.Duration(i%2048)*time.Microsecond, f.Sender.Start)
+		f := transport.NewFlow(ft.Eng, ft.Host(src), ft.Host(dst), fid.Next(), i%8, 50_000,
+			transport.Config{InitWindow: 16}, onDone)
+		f.Sender.StartAt(time.Duration(i%2048) * time.Microsecond)
+		launched = append(launched, f)
 	}
-	eng.RunUntil(2 * time.Second)
-	if completed != flows {
-		b.Fatalf("completed %d/%d", completed, flows)
+	if coord != nil {
+		coord.RunUntil(2 * time.Second)
+	} else {
+		ft.Eng.RunUntil(2 * time.Second)
 	}
+	if completed.Load() != flows {
+		b.Fatalf("completed %d/%d", completed.Load(), flows)
+	}
+	for _, f := range launched {
+		f.Release()
+	}
+}
+
+// BenchmarkFatTreeSharded runs the same k=8 fat-tree workload through
+// the shard coordinator at increasing shard counts (1 shard is the
+// degenerate serial path and measures pure coordinator overhead; the
+// sharded runs split the pods and cores across engines). Compare against
+// BenchmarkFatTree for the serial baseline.
+func BenchmarkFatTreeSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runFatTreeShardedOnce(b, shards)
+			}
+		})
+	}
+}
+
+func runFatTreeShardedOnce(b *testing.B, shards int) {
+	b.Helper()
+	coord := sim.NewCoordinator()
+	ft, _ := topo.NewFatTreeSharded(coord, topo.FatTreeConfig{
+		K: 8,
+		Ports: topo.PortProfile{
+			Weights:      topo.EqualWeights(8),
+			NewSchedWith: topo.DWRRSched,
+			NewMarker:    func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+			BufferBytes:  units.Packets(250),
+		},
+	}, shards)
+	driveFatTreeFlows(b, ft, coord)
 }
 
 // BenchmarkEngineChurn measures raw scheduler cost under a pending-set

@@ -65,6 +65,7 @@ func run(args []string, stdout io.Writer) error {
 		format    = fs.String("format", "tsv", "output format: tsv or json")
 		out       = fs.String("out", "", "write output to this file instead of stdout")
 		jobs      = fs.Int("jobs", runtime.NumCPU(), "max experiments simulated in parallel (payload is identical at any value)")
+		shards    = fs.Int("shards", 1, "shard each large-scale simulation across this many parallel engines (a sharded run costs that many -jobs tokens; output is deterministic at any fixed value)")
 		summary   = fs.Bool("summary", true, "append the run manifest as a trailing '# summary' block (tsv only)")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
 		memprof   = fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
@@ -145,7 +146,10 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("one of -list, -all or -experiment is required")
 	}
 
-	opt := experiment.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
+	}
+	opt := experiment.Options{Quick: *quick, Seed: *seed, Repeats: *repeats, Shards: *shards}
 	tracing := *tracefile != "" || *metrics != ""
 	if tracing {
 		// The bus is not synchronized: restrict tracing to one serially
@@ -155,6 +159,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if *repeats > 1 {
 			return fmt.Errorf("-tracefile/-metrics require -repeats 1 (got %d)", *repeats)
+		}
+		if *shards > 1 {
+			return fmt.Errorf("-tracefile/-metrics require -shards 1 (got %d)", *shards)
 		}
 		*jobs = 1
 		ringCap := *tracebuf

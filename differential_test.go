@@ -153,6 +153,185 @@ func assertIdenticalRuns(t *testing.T, name string, heap, cal workloadResult) {
 	}
 }
 
+// The sharded differential gate: the same workloads, run once serially
+// and once split across coordinator shards, must be byte-identical —
+// same observability traces, same FCTs, same total processed events.
+// Two buses are used instead of one: obs.Bus assigns sequence numbers
+// in emission order and is unsynchronized, so each bus must only ever
+// be fed from one shard. The switch bus hears the observed switches
+// (fabric shard) and the host bus hears every transport endpoint (host
+// shard); the serial baseline uses the same two-bus split so the traces
+// are comparable line by line.
+
+// runShardedDumbbell runs the dumbbell differential workload. shards ==
+// 0 is the serial reference (plain engine, serial builder); shards >= 1
+// builds through the coordinator.
+func runShardedDumbbell(t *testing.T, shards int) workloadResult {
+	t.Helper()
+	switchBus := obs.NewBus(1 << 16)
+	hostBus := obs.NewBus(1 << 16)
+	cfg := topo.DumbbellConfig{
+		Senders: 4,
+		Bottleneck: topo.PortProfile{
+			Weights:      topo.EqualWeights(4),
+			NewSchedWith: topo.DWRRSched,
+			NewMarker:    func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+		},
+	}
+	var (
+		d     *topo.Dumbbell
+		eng   *sim.Engine
+		coord *sim.Coordinator
+	)
+	if shards == 0 {
+		eng = sim.NewEngine()
+		d = topo.NewDumbbell(eng, cfg)
+	} else {
+		coord = sim.NewCoordinator()
+		d, _ = topo.NewDumbbellSharded(coord, cfg, shards)
+	}
+	d.Switch.Observe(switchBus)
+
+	var fid transport.FlowIDGen
+	var flows []*transport.Flow
+	for i := 0; i < 4; i++ {
+		f := transport.NewFlow(d.Eng, d.Senders[i], d.Recv, fid.Next(), i%4, 400_000,
+			transport.Config{Obs: hostBus}, nil)
+		f.Sender.StartAt(time.Duration(i) * 20 * time.Microsecond)
+		flows = append(flows, f)
+	}
+	var res workloadResult
+	if coord != nil {
+		coord.RunUntil(100 * time.Millisecond)
+		res.processed = coord.Processed()
+	} else {
+		eng.RunUntil(100 * time.Millisecond)
+		res.processed = eng.Processed()
+	}
+	for _, f := range flows {
+		if !f.Sender.Finished() {
+			t.Fatalf("dumbbell flow %d did not finish", f.Sender.Flow())
+		}
+		res.fcts = append(res.fcts, f.Sender.FCT())
+	}
+	res.trace = twoBusTrace(t, switchBus, hostBus)
+	return res
+}
+
+// runShardedLeafSpine runs the leaf-spine differential workload (same
+// convention: shards == 0 is the serial reference).
+func runShardedLeafSpine(t *testing.T, shards int) workloadResult {
+	t.Helper()
+	switchBus := obs.NewBus(1 << 16)
+	hostBus := obs.NewBus(1 << 16)
+	cfg := topo.LeafSpineConfig{
+		// A fabric delay different from the host-link delay keeps every
+		// same-instant arrival pair at a leaf distinguishable by its send
+		// time, so the sharded key's schedAt component reproduces the
+		// serial order exactly (see the tie discussion in
+		// internal/sim/parallel.go).
+		FabricDelay: 4 * time.Microsecond,
+		Ports: topo.PortProfile{
+			Weights:      topo.EqualWeights(8),
+			NewSchedWith: topo.DWRRSched,
+			NewMarker:    func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+			BufferBytes:  units.Packets(250),
+		},
+	}
+	var (
+		ls    *topo.LeafSpine
+		eng   *sim.Engine
+		coord *sim.Coordinator
+	)
+	if shards == 0 {
+		eng = sim.NewEngine()
+		ls = topo.NewLeafSpine(eng, cfg)
+	} else {
+		coord = sim.NewCoordinator()
+		ls, _ = topo.NewLeafSpineSharded(coord, cfg, shards)
+	}
+	ls.Leaves[0].Observe(switchBus)
+	ls.Spines[0].Observe(switchBus)
+
+	var fid transport.FlowIDGen
+	var flows []*transport.Flow
+	for i := 0; i < 40; i++ {
+		src, dst := i%48, (i*13+5)%48
+		if src == dst {
+			dst = (dst + 1) % 48
+		}
+		f := transport.NewFlow(ls.Eng, ls.Host(src), ls.Host(dst), fid.Next(), i%8, 100_000,
+			transport.Config{InitWindow: 16, Obs: hostBus}, nil)
+		f.Sender.StartAt(time.Duration(i) * 30 * time.Microsecond)
+		flows = append(flows, f)
+	}
+	var res workloadResult
+	if coord != nil {
+		coord.RunUntil(200 * time.Millisecond)
+		res.processed = coord.Processed()
+	} else {
+		eng.RunUntil(200 * time.Millisecond)
+		res.processed = eng.Processed()
+	}
+	for _, f := range flows {
+		if !f.Sender.Finished() {
+			t.Fatalf("leafspine flow %d did not finish", f.Sender.Flow())
+		}
+		res.fcts = append(res.fcts, f.Sender.FCT())
+	}
+	res.trace = twoBusTrace(t, switchBus, hostBus)
+	return res
+}
+
+// twoBusTrace serializes both buses into one labeled byte stream so the
+// existing line-level divergence reporting covers them.
+func twoBusTrace(t *testing.T, switchBus, hostBus *obs.Bus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("# switch bus\n")
+	if err := switchBus.Ring().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("# host bus\n")
+	if err := hostBus.Ring().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A dumbbell split hosts-vs-switch must be byte-identical to the serial
+// run: same switch trace, same transport trace, same FCTs, same total
+// event count. The 1-shard build is the degenerate check that the
+// sharded wiring itself changes nothing.
+func TestDifferentialShardedDumbbell(t *testing.T) {
+	serial := runShardedDumbbell(t, 0)
+	if len(serial.trace) == 0 {
+		t.Fatal("empty trace: the workload recorded nothing")
+	}
+	assertIdenticalRuns(t, "dumbbell serial-vs-1shard", serial, runShardedDumbbell(t, 1))
+	assertIdenticalRuns(t, "dumbbell serial-vs-2shard", serial, runShardedDumbbell(t, 2))
+}
+
+// Same gate for the leaf-spine fabric split hosts-vs-fabric. Run under
+// -race in CI, this doubles as the shard coordinator's race check on a
+// real workload.
+func TestDifferentialShardedLeafSpine(t *testing.T) {
+	serial := runShardedLeafSpine(t, 0)
+	if len(serial.trace) == 0 {
+		t.Fatal("empty trace: the workload recorded nothing")
+	}
+	assertIdenticalRuns(t, "leafspine serial-vs-1shard", serial, runShardedLeafSpine(t, 1))
+	assertIdenticalRuns(t, "leafspine serial-vs-2shard", serial, runShardedLeafSpine(t, 2))
+}
+
+// Sharded runs must also be self-deterministic: two identical 2-shard
+// runs may not diverge no matter how goroutines are scheduled.
+func TestDifferentialShardedDeterminism(t *testing.T) {
+	a := runShardedLeafSpine(t, 2)
+	b := runShardedLeafSpine(t, 2)
+	assertIdenticalRuns(t, "leafspine 2shard-vs-2shard", a, b)
+}
+
 func TestDifferentialDumbbellWorkload(t *testing.T) {
 	heap := runDumbbellWorkload(t, sim.QueueHeap)
 	cal := runDumbbellWorkload(t, sim.QueueCalendar)

@@ -28,6 +28,13 @@ type Options struct {
 	// with consecutive seeds and reports cross-seed means (default 1).
 	// Deterministic experiments ignore it.
 	Repeats int
+	// Shards splits each large-scale simulation across this many shard
+	// engines driven in parallel by a sim.Coordinator (default 1 =
+	// serial; experiments on small topologies ignore it). Results are
+	// deterministic at any fixed shard count. A sharded run occupies
+	// Shards workers, so RunMany charges it that many tokens — jobs x
+	// shards never oversubscribes the machine.
+	Shards int
 
 	// Obs, when non-nil, attaches the observability bus to the
 	// experiment's bottleneck port, markers and transports. The bus is
@@ -64,6 +71,24 @@ func (o Options) repeats() int {
 		return 1
 	}
 	return o.Repeats
+}
+
+func (o Options) shards() int {
+	if o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
+}
+
+// tokenCost is the number of worker tokens one simulation of these
+// options occupies: its shard count, capped at the pool size so a
+// single run can always make progress.
+func (o Options) tokenCost() int {
+	n := o.shards()
+	if o.pool != nil && n > o.pool.size {
+		n = o.pool.size
+	}
+	return n
 }
 
 // Result is an experiment's output table: the rows/series the paper

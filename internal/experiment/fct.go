@@ -91,32 +91,60 @@ type fctCacheEntry struct {
 }
 
 func fctCacheKey(schedName string, opt Options) string {
-	return fmt.Sprintf("%s/quick=%v/seed=%d/rep=%d", schedName, opt.Quick, opt.seed(), opt.repeats())
+	// Shard count is part of the key: results are deterministic at any
+	// fixed shard count, but a shard boundary can reorder same-instant
+	// independent events, so different counts are distinct cells.
+	return fmt.Sprintf("%s/quick=%v/seed=%d/rep=%d/shards=%d",
+		schedName, opt.Quick, opt.seed(), opt.repeats(), opt.shards())
 }
 
 // runFCTOnce simulates one (scheduler, scheme, load) cell and returns
 // the FCT metrics. opt is only consulted for manifest accounting; the
 // cell's randomness comes entirely from seed.
 func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed int64, opt Options) *fctMetrics {
-	eng := sim.NewEngine()
-	var schedF topo.SchedFactory
-	switch schedName {
-	case "dwrr":
-		schedF = topo.DWRRFactory(eng)
-	case "wfq":
-		schedF = topo.WFQFactory()
-	default:
-		panic(fmt.Sprintf("experiment: unknown scheduler %q", schedName))
-	}
-	ls := topo.NewLeafSpine(eng, topo.LeafSpineConfig{
+	lsCfg := topo.LeafSpineConfig{
 		Rate: fctRate,
 		Ports: topo.PortProfile{
 			Weights:     topo.EqualWeights(fctServiceCnt),
-			NewSched:    schedF,
 			NewMarker:   sc.marker,
 			BufferBytes: units.Packets(fctBufferPkts),
 		},
-	})
+	}
+	// A leaf-spine partitions into at most 2 shards (hosts, fabric), so
+	// higher -shards values clamp here; RunMany may then hold more
+	// tokens than the run uses, which errs on the undersubscribed side.
+	shards := opt.shards()
+	if shards > 2 {
+		shards = 2
+	}
+	var (
+		ls    *topo.LeafSpine
+		eng   *sim.Engine
+		coord *sim.Coordinator
+	)
+	if shards > 1 {
+		coord = sim.NewCoordinator()
+		switch schedName {
+		case "dwrr":
+			lsCfg.Ports.NewSchedWith = topo.DWRRSched
+		case "wfq":
+			lsCfg.Ports.NewSched = topo.WFQFactory()
+		default:
+			panic(fmt.Sprintf("experiment: unknown scheduler %q", schedName))
+		}
+		ls, _ = topo.NewLeafSpineSharded(coord, lsCfg, shards)
+	} else {
+		eng = sim.NewEngine()
+		switch schedName {
+		case "dwrr":
+			lsCfg.Ports.NewSched = topo.DWRRFactory(eng)
+		case "wfq":
+			lsCfg.Ports.NewSched = topo.WFQFactory()
+		default:
+			panic(fmt.Sprintf("experiment: unknown scheduler %q", schedName))
+		}
+		ls = topo.NewLeafSpine(eng, lsCfg)
+	}
 
 	specs := workload.Poisson(workload.PoissonConfig{
 		Load:     load,
@@ -138,7 +166,7 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 		if sc.filter != nil {
 			cfg.Filter = sc.filter()
 		}
-		f := transport.NewFlow(eng, ls.Host(spec.Src), ls.Host(spec.Dst), id,
+		f := transport.NewFlow(ls.Eng, ls.Host(spec.Src), ls.Host(spec.Dst), id,
 			spec.Service, spec.Size, cfg, func(s *transport.Sender) {
 				fct := s.FCT().Seconds()
 				m.all.Add(fct)
@@ -152,13 +180,17 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 				}
 				m.completed++
 			})
-		eng.ScheduleAt(spec.Start, f.Sender.Start)
+		f.Sender.StartAt(spec.Start)
 		lastStart = spec.Start
 	}
 	// Open-loop run: give stragglers a generous tail after the last
 	// arrival, bounded so pathological retransmission loops cannot hang
 	// the experiment.
-	eng.RunUntil(lastStart + 2*time.Second)
+	if coord != nil {
+		coord.RunUntil(lastStart + 2*time.Second)
+	} else {
+		eng.RunUntil(lastStart + 2*time.Second)
+	}
 
 	// Sanity diagnostics: a correctly wired fabric routes and delivers
 	// everything it accepts.
@@ -171,7 +203,13 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 	for _, h := range ls.Hosts {
 		m.unclaimed += h.UnclaimedPackets()
 	}
-	opt.observeEngine(eng)
+	if coord != nil {
+		for _, s := range coord.Shards() {
+			opt.observeEngine(s.Engine())
+		}
+	} else {
+		opt.observeEngine(eng)
+	}
 	return m
 }
 

@@ -10,34 +10,64 @@ import (
 )
 
 // workerPool bounds the total simulation concurrency of one RunMany
-// invocation. Experiment-level fan-out and per-seed fan-out inside a
-// single experiment draw from the same token budget, so jobs=N never
-// oversubscribes N workers no matter how the work nests.
+// invocation. Experiment-level fan-out, per-seed fan-out inside a
+// single experiment, and the shard workers of sharded runs all draw
+// from the same token budget, so jobs=N never oversubscribes N workers
+// no matter how the work nests. A run using S shards costs S tokens.
 type workerPool struct {
-	tokens chan struct{}
+	mu   sync.Mutex
+	cond *sync.Cond
+	idle int
+	size int
 }
 
 func newWorkerPool(jobs int) *workerPool {
-	p := &workerPool{tokens: make(chan struct{}, jobs)}
-	for i := 0; i < jobs; i++ {
-		p.tokens <- struct{}{}
-	}
+	p := &workerPool{idle: jobs, size: jobs}
+	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
-func (p *workerPool) acquire() { <-p.tokens }
-func (p *workerPool) release() { p.tokens <- struct{}{} }
+// acquireN blocks until n tokens are free simultaneously and takes them
+// all atomically. All-or-nothing: a waiter never sits on a partial set,
+// so concurrent multi-token acquisitions cannot deadlock against each
+// other. n is capped at the pool size so one request can always
+// eventually be satisfied.
+func (p *workerPool) acquireN(n int) {
+	if n > p.size {
+		n = p.size
+	}
+	p.mu.Lock()
+	for p.idle < n {
+		p.cond.Wait()
+	}
+	p.idle -= n
+	p.mu.Unlock()
+}
 
-// tryAcquire grabs a token only when one is idle right now. Nested
-// fan-out uses it so a goroutine that already holds a token can never
-// deadlock waiting for a second one.
-func (p *workerPool) tryAcquire() bool {
-	select {
-	case <-p.tokens:
-		return true
-	default:
+func (p *workerPool) releaseN(n int) {
+	if n > p.size {
+		n = p.size
+	}
+	p.mu.Lock()
+	p.idle += n
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// tryAcquireN takes n tokens only when all of them are idle right now.
+// Nested fan-out uses it so a goroutine that already holds tokens can
+// never deadlock waiting for more.
+func (p *workerPool) tryAcquireN(n int) bool {
+	if n > p.size {
+		n = p.size
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.idle < n {
 		return false
 	}
+	p.idle -= n
+	return true
 }
 
 // eachRepeat runs fn(0), fn(1), ..., fn(n-1), fanning iterations across
@@ -53,16 +83,17 @@ func (o Options) eachRepeat(n int, fn func(r int)) {
 		}
 		return
 	}
+	cost := o.tokenCost()
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
-		if r == n-1 || !o.pool.tryAcquire() {
+		if r == n-1 || !o.pool.tryAcquireN(cost) {
 			fn(r)
 			continue
 		}
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			defer o.pool.release()
+			defer o.pool.releaseN(cost)
 			fn(r)
 		}(r)
 	}
@@ -108,8 +139,11 @@ func (m *Manifest) Summary() string {
 	return b.String()
 }
 
-// RunMany executes specs with at most jobs experiments simulating at
-// once (jobs < 1 means runtime.NumCPU()). Each experiment builds its
+// RunMany executes specs with at most jobs worker tokens in use at once
+// (jobs < 1 means runtime.NumCPU()). A serial experiment costs one
+// token; an experiment running opt.Shards shard engines costs Shards
+// tokens (capped at jobs), so -jobs x -shards never oversubscribes the
+// machine no matter how the work nests. Each experiment builds its
 // own private sim.Engine and every engine is deterministic, so results
 // are byte-identical to a serial run and come back in the order specs
 // were given. On failure the returned results hold the completed prefix
@@ -135,11 +169,16 @@ func RunMany(specs []Spec, opt Options, jobs int) ([]*Result, *Manifest, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pool.acquire()
-			defer pool.release()
-			var events atomic.Int64
 			o := opt
-			o.pool, o.events = pool, &events
+			o.pool = pool
+			// A sharded experiment runs tokenCost() shard workers at
+			// once, so it must hold that many tokens, atomically (see
+			// acquireN), before simulating.
+			cost := o.tokenCost()
+			pool.acquireN(cost)
+			defer pool.releaseN(cost)
+			var events atomic.Int64
+			o.events = &events
 			t0 := time.Now()
 			res, err := specs[i].Run(o)
 			outcomes[i] = outcome{res, err, time.Since(t0), events.Load()}

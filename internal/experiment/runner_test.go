@@ -124,6 +124,58 @@ func TestRunManyDefaultJobs(t *testing.T) {
 	}
 }
 
+// A sharded experiment occupies one worker token per shard engine it
+// will spin up, so -jobs x -shards can never oversubscribe the machine:
+// the weighted concurrency across running specs stays within the pool,
+// and a single spec wider than the pool is capped at the pool size
+// instead of deadlocking.
+func TestRunManyShardsNeverOversubscribe(t *testing.T) {
+	const jobs = 4
+	for _, shards := range []int{1, 2, 3, 4, 9} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			var inUse, peak atomic.Int64
+			var specs []Spec
+			for i := 0; i < 10; i++ {
+				id := fmt.Sprintf("s%d", i)
+				specs = append(specs, Spec{
+					ID: id, Title: id,
+					Run: func(opt Options) (*Result, error) {
+						cost := int64(opt.tokenCost())
+						cur := inUse.Add(cost)
+						for {
+							p := peak.Load()
+							if cur <= p || peak.CompareAndSwap(p, cur) {
+								break
+							}
+						}
+						time.Sleep(2 * time.Millisecond)
+						inUse.Add(-cost)
+						return &Result{ID: id, Title: id}, nil
+					},
+				})
+			}
+			results, _, err := RunMany(specs, Options{Shards: shards}, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != len(specs) {
+				t.Fatalf("%d results, want %d", len(results), len(specs))
+			}
+			if got := peak.Load(); got > jobs {
+				t.Fatalf("peak weighted concurrency %d exceeds %d jobs", got, jobs)
+			}
+			wantCost := shards
+			if wantCost > jobs {
+				wantCost = jobs
+			}
+			if shards >= jobs && peak.Load() != int64(wantCost) {
+				t.Fatalf("pool-wide spec should still run alone at cost %d, saw peak %d",
+					wantCost, peak.Load())
+			}
+		})
+	}
+}
+
 // eachRepeat is the nested fan-out used by the randomized sweeps. With
 // or without a pool attached it must run every index exactly once and
 // let per-index slots reassemble deterministically; with a pool it must
@@ -138,8 +190,8 @@ func TestEachRepeatCoversAllIndices(t *testing.T) {
 		{"pooled", Options{pool: newWorkerPool(4)}},
 		{"starved", func() Options {
 			p := newWorkerPool(2)
-			p.acquire()
-			p.acquire() // all tokens held: fan-out must degrade to inline
+			p.acquireN(1)
+			p.acquireN(1) // all tokens held: fan-out must degrade to inline
 			return Options{pool: p}
 		}()},
 	} {

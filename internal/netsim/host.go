@@ -51,6 +51,11 @@ func (h *Host) AttachNIC(link *Link) *Port {
 // NodeID implements Node.
 func (h *Host) NodeID() pkt.NodeID { return h.id }
 
+// Engine returns the engine driving this host. In a sharded topology
+// this is the host's shard engine; transport endpoints and flow-start
+// scheduling must use it rather than some global engine.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
 // NIC returns the host's NIC port (nil before AttachNIC).
 func (h *Host) NIC() *Port { return h.nic }
 

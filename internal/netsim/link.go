@@ -12,11 +12,17 @@ import (
 // charged by the transmitting Port (which owns the link and stays busy
 // for size/rate); the link itself adds the propagation delay. A
 // bidirectional cable is modeled as two Links.
+//
+// A link is either local (both ends on one engine; arrivals are
+// scheduled directly) or a boundary link (the ends live on different
+// shards of a sim.Coordinator; arrivals cross via the shard boundary's
+// deterministic merge). The send path is identical either way.
 type Link struct {
-	eng   *sim.Engine
-	rate  units.Rate
-	delay time.Duration
-	to    Node
+	eng      *sim.Engine
+	boundary *sim.Boundary
+	rate     units.Rate
+	delay    time.Duration
+	to       Node
 	// deliver is the arrival callback, bound once at construction so
 	// propagating a packet schedules no per-packet closure (multiple
 	// packets can be in flight, so the packet itself rides in the event
@@ -28,6 +34,16 @@ type Link struct {
 // capacity and one-way propagation delay.
 func NewLink(eng *sim.Engine, rate units.Rate, delay time.Duration, to Node) *Link {
 	l := &Link{eng: eng, rate: rate, delay: delay, to: to}
+	l.deliver = func(arg any) { l.to.Receive(arg.(*pkt.Packet)) }
+	return l
+}
+
+// NewBoundaryLink returns a cross-shard link: deliveries execute on the
+// boundary's destination shard, one boundary delay after the send. The
+// propagation delay is the boundary's (they are registered together so
+// the coordinator's lookahead bound covers this link).
+func NewBoundaryLink(b *sim.Boundary, rate units.Rate, to Node) *Link {
+	l := &Link{boundary: b, rate: rate, delay: b.Delay(), to: to}
 	l.deliver = func(arg any) { l.to.Receive(arg.(*pkt.Packet)) }
 	return l
 }
@@ -45,5 +61,9 @@ func (l *Link) To() Node { return l.to }
 // charged serialization time (ports do this while holding the
 // transmitter busy).
 func (l *Link) Deliver(p *pkt.Packet) {
+	if l.boundary != nil {
+		l.boundary.Send(l.deliver, p)
+		return
+	}
 	l.eng.ScheduleCall(l.delay, l.deliver, p)
 }

@@ -98,6 +98,20 @@ func (c *calQueue) push(ev *event) {
 	if ev.at >= c.winEnd {
 		c.overflow.push(ev)
 	} else {
+		if ev.at < c.bucketTop-c.width {
+			// The event lands in a slice behind the scan cursor. Serial
+			// scheduling can't do this (insert clamps to the clock, which
+			// never trails the slice under scan), but a cross-shard
+			// injection can: the window may have anchored ahead — to the
+			// overflow minimum after a transient drain, or across an empty
+			// gap — while the shard's clock, which lower-bounds injected
+			// arrival times, lags behind it. Rewind the window so the scan
+			// revisits the event's slice. Events left in the de-windowed
+			// top slices alias harmlessly: pop and peek admit a bucket's
+			// head only when its time falls inside the slice under scan, so
+			// they simply wait until the window advances back over them.
+			c.anchor(ev.at)
+		}
 		c.insertBucket(ev)
 		c.count++
 	}
@@ -167,7 +181,15 @@ func (c *calQueue) pop() *event {
 		// (amortized: the jump's O(buckets) search is paid for by the
 		// O(buckets) of skipping we just avoided).
 		if steps++; steps > len(c.buckets)/2 {
-			c.anchor(c.directMin().at)
+			// Jump to the true minimum across both tiers: after a rewind
+			// (see push) the bucket tier may hold de-windowed events that
+			// sort after the overflow minimum, and anchoring past it would
+			// make migrate land it behind the cursor.
+			m := c.directMin()
+			if o := c.overflow.peek(); o != nil && eventLess(o, m) {
+				m = o
+			}
+			c.anchor(m.at)
 			c.migrate()
 			steps = 0
 			continue

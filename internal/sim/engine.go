@@ -192,23 +192,59 @@ func (e *Engine) insert(at time.Duration) *event {
 	if at < e.now {
 		at = e.now
 	}
-	var ev *event
+	ev := e.newEvent()
+	ev.at = at
+	ev.schedAt = e.now
+	ev.lane = 0
+	ev.seq = e.seq
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// newEvent takes a blank record from the free list (or allocates one).
+func (e *Engine) newEvent() *event {
 	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
+		ev := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 		ev.cancelled, ev.fired = false, false
-	} else {
-		ev = &event{}
+		return ev
 	}
-	ev.at = at
-	ev.seq = e.seq
-	e.seq++
+	return &event{}
+}
+
+func (e *Engine) push(ev *event) {
 	e.q.push(ev)
 	if n := e.q.len(); n > e.hiwater {
 		e.hiwater = n
 	}
-	return ev
+}
+
+// injectRemote enqueues an event scheduled by another shard's engine.
+// The caller supplies the full sort key: the arrival time, the sending
+// engine's clock at send time (schedAt), a nonzero lane identifying the
+// sending shard, and that shard's monotone cross-send sequence number.
+// The local seq counter is not consumed, so injections leave the order
+// of local events untouched. Only the shard coordinator may call this,
+// and only at a window barrier (between runBefore windows), so the
+// engine is never executing concurrently.
+func (e *Engine) injectRemote(at, schedAt time.Duration, lane uint32, seq uint64,
+	fn func(any), arg any) {
+	if at < e.now {
+		// The conservative window protocol guarantees arrivals land at or
+		// beyond the receiving shard's clock; clamp defensively anyway so
+		// a misuse degrades like a late local schedule instead of
+		// corrupting the queue's monotonicity.
+		at = e.now
+	}
+	ev := e.newEvent()
+	ev.at = at
+	ev.schedAt = schedAt
+	ev.lane = lane
+	ev.seq = seq
+	ev.callFn, ev.arg = fn, arg
+	e.push(ev)
 }
 
 // recycle returns an executed or cancelled event record to the pool,
@@ -287,6 +323,34 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 	}
 }
 
+// runBefore executes every event with at < limit (strictly), leaving
+// the clock at the last executed event. It returns the time of the
+// earliest remaining event, with ok=false when the queue drained. The
+// shard coordinator uses the exclusive bound to run one conservative
+// window [T, T+lookahead): events exactly at the window end belong to
+// the next window, after the barrier has injected any cross-shard
+// arrivals that could tie with them.
+func (e *Engine) runBefore(limit time.Duration) (next time.Duration, ok bool) {
+	for {
+		ev := e.peek()
+		if ev == nil {
+			return 0, false
+		}
+		if ev.at >= limit {
+			return ev.at, true
+		}
+		e.Step()
+	}
+}
+
+// advanceTo moves the clock forward to t if it lags behind (the sharded
+// counterpart of RunUntil's advance-to-deadline-on-drain semantics).
+func (e *Engine) advanceTo(t time.Duration) {
+	if e.now < t {
+		e.now = t
+	}
+}
+
 // Stop makes Run/RunUntil return after the current event completes.
 // Unfired events stay queued and the clock stays at the stopping
 // event's time, so a later Run/RunUntil resumes exactly where the
@@ -360,24 +424,57 @@ func (t *Ticker) Stop() {
 // event is a pending-event record. Exactly one of fn / callFn is set.
 // next chains events inside a calendar-queue bucket; it is nil whenever
 // the event is not resident in a bucket.
+// event records are pooled and compared in the queue hot paths, so the
+// layout matters: every field the sort key reads (at, schedAt, lane,
+// seq) plus the chain pointer sits in the first 64 bytes, and the only
+// field dispatch alone needs (arg) takes the overflow slot — a
+// comparison or chain walk touches exactly one cache line per record.
 type event struct {
-	at        time.Duration
-	seq       uint64
-	gen       uint64
-	next      *event
-	fn        func()
-	callFn    func(any)
-	arg       any
+	at time.Duration
+	// schedAt is the virtual time the event was scheduled at (the
+	// engine's clock when insert ran, or the sending shard's clock for a
+	// cross-shard injection). It participates in the sort key so a
+	// sharded run can reproduce the serial engine's tie-break exactly:
+	// locally, seq order already implies schedAt order (the clock never
+	// runs backwards), so adding it changes nothing — but it lets an
+	// injected remote event slot into the same position it would have
+	// held in a single serial queue.
+	schedAt time.Duration
+	seq     uint64
+	gen     uint64
+	next    *event
+	fn      func()
+	callFn  func(any)
+	// lane identifies the event's scheduling domain: 0 for local
+	// schedules, 1+shardID for events injected from another shard. seq
+	// values are only comparable within one lane; the lane field keeps
+	// the order total across them.
+	lane      uint32
 	cancelled bool
 	fired     bool
+	arg       any
 }
 
-// eventLess orders events by (time, sequence): a strict total order, so
-// the pop sequence — and therefore every simulation — is independent of
-// the queue's internal layout.
+// eventLess orders events by (time, schedule time, lane, sequence): a
+// strict total order, so the pop sequence — and therefore every
+// simulation — is independent of the queue's internal layout.
+//
+// For a purely local (serial) run this is exactly the historical
+// (time, sequence) order: every lane is 0, and for two events with
+// equal at, seq_a < seq_b implies schedAt_a <= schedAt_b because seq is
+// assigned in scheduling order and the clock is nondecreasing — so the
+// (schedAt, lane, seq) suffix ranks by seq alone. The extra fields only
+// discriminate when a shard coordinator injects events scheduled by
+// another engine (see parallel.go).
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
 	}
 	return a.seq < b.seq
 }

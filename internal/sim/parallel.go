@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements sharded parallel simulation: several engines
+// (one per topology shard) run concurrently inside conservative
+// bounded-lag windows and exchange boundary events at barriers.
+//
+// Protocol. Let L be the lookahead: the minimum propagation delay over
+// every cross-shard link (registered via Boundary). Each round the
+// coordinator computes T, the earliest pending event time across all
+// shards, and lets every shard execute its events in [T, T+L) in
+// parallel. Any cross-shard send performed by an event at time u >= T
+// arrives at u+delay >= T+L — at or beyond the window end — so no shard
+// can receive an event inside the window it is currently executing.
+// The barrier then drains every shard's outbox into the destination
+// engines and the next round recomputes T. Windows are half-open so an
+// arrival exactly at a window end is injected before the events it
+// could tie with are run.
+//
+// Determinism and serial equivalence. The window sequence is a pure
+// function of engine states, so a sharded run is deterministic
+// regardless of goroutine scheduling. Stronger: it reproduces the
+// serial engine's event order exactly, as long as the sort key
+// disambiguates. The serial engine orders same-time events by seq,
+// which is assigned in scheduling order; because the clock never runs
+// backwards, that is equivalent to ordering by (schedAt, seq). A
+// cross-shard injection carries its true schedAt (the sending engine's
+// clock at send time) and the sender's monotone cross-send seq, so it
+// sorts against local events of the destination shard exactly where the
+// serial engine would have placed it — except when a local and a remote
+// event (or two remote events from different shards) carry the *same*
+// (at, schedAt): two causally independent schedules at the same instant
+// whose serial order depended on global seq interleaving that no shard
+// can reconstruct. The key then falls back to lane order (locals first,
+// then by sending shard). Topologies whose shards receive from a single
+// peer and whose local scheduling horizons (serialization times,
+// timers) never equal a cut-link delay cannot produce such ties, which
+// differential_test.go proves byte-for-byte on the dumbbell and
+// leaf-spine workloads. See DESIGN.md section 8.
+//
+// Threading. Each shard owns one worker goroutine; engines are only
+// ever touched by their worker (inside a window) or by the coordinator
+// (at a barrier), with channel sends establishing the happens-before
+// edges between the two. Nothing in the engine grows locks.
+
+// Coordinator synchronizes a set of shard engines. Create one with
+// NewCoordinator, add shards with NewShard, declare every cross-shard
+// link with Boundary, then drive the whole simulation with RunUntil.
+type Coordinator struct {
+	shards    []*Shard
+	lookahead time.Duration // min registered boundary delay; 0 = none yet
+}
+
+// Shard is one engine plus its cross-shard plumbing.
+type Shard struct {
+	coord *Coordinator
+	id    int
+	eng   *Engine
+
+	// outbox accumulates cross-shard sends performed during the shard's
+	// current window; only the shard's own worker appends, and only the
+	// coordinator drains (at a barrier).
+	outbox  []remoteEvent
+	sendSeq uint64
+
+	// Cached earliest-pending-event time, maintained by runBefore
+	// returns and barrier injections so the coordinator never rescans
+	// engine queues.
+	nextAt  time.Duration
+	hasNext bool
+
+	windowCh chan time.Duration
+	doneCh   chan struct{}
+}
+
+// remoteEvent is one cross-shard delivery waiting at a barrier.
+type remoteEvent struct {
+	dst    *Shard
+	at     time.Duration
+	sentAt time.Duration
+	seq    uint64
+	fn     func(any)
+	arg    any
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{}
+}
+
+// NewShard adds a shard with a fresh calendar-queue engine.
+func (c *Coordinator) NewShard() *Shard {
+	s := &Shard{coord: c, id: len(c.shards), eng: NewEngine()}
+	c.shards = append(c.shards, s)
+	return s
+}
+
+// Shards returns the shards in creation order.
+func (c *Coordinator) Shards() []*Shard { return c.shards }
+
+// Lookahead returns the current conservative window width: the minimum
+// delay among registered boundaries (0 before any registration).
+func (c *Coordinator) Lookahead() time.Duration { return c.lookahead }
+
+// Engine returns the shard's engine. Entities placed on this shard must
+// schedule exclusively against it.
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// ID returns the shard's index in creation order.
+func (s *Shard) ID() int { return s.id }
+
+// Boundary declares a directed cross-shard link with the given
+// propagation delay and returns the handle its sender uses to deliver
+// across the cut. The delay lower-bounds the coordinator's lookahead,
+// so it must be positive: a zero-delay cut would make the conservative
+// window empty.
+func (c *Coordinator) Boundary(from, to *Shard, delay time.Duration) *Boundary {
+	if from == to {
+		panic("sim: boundary endpoints are the same shard (use a local link)")
+	}
+	if from.coord != c || to.coord != c {
+		panic("sim: boundary shards belong to a different coordinator")
+	}
+	if delay <= 0 {
+		panic(fmt.Sprintf("sim: boundary delay must be positive, got %v", delay))
+	}
+	if c.lookahead == 0 || delay < c.lookahead {
+		c.lookahead = delay
+	}
+	return &Boundary{from: from, to: to, delay: delay}
+}
+
+// Boundary is the sending end of one cross-shard link.
+type Boundary struct {
+	from, to *Shard
+	delay    time.Duration
+}
+
+// Delay returns the boundary's propagation delay.
+func (b *Boundary) Delay() time.Duration { return b.delay }
+
+// Send schedules fn(arg) on the destination shard one propagation delay
+// from now. It must be called from the sending shard's execution
+// context (i.e. from an event running on its engine); the delivery is
+// parked in the shard's outbox and injected at the next barrier with
+// the full deterministic key: arrival time, sending clock, sending
+// shard's lane and cross-send sequence.
+func (b *Boundary) Send(fn func(any), arg any) {
+	s := b.from
+	now := s.eng.now
+	s.outbox = append(s.outbox, remoteEvent{
+		dst:    b.to,
+		at:     now + b.delay,
+		sentAt: now,
+		seq:    s.sendSeq,
+		fn:     fn,
+		arg:    arg,
+	})
+	s.sendSeq++
+}
+
+// RunUntil executes events with timestamps <= deadline on every shard,
+// advancing them in conservative lookahead windows. On return every
+// shard's clock is at the deadline (matching Engine.RunUntil's
+// advance-on-drain contract). Engine.Stop is not supported under a
+// coordinator; a single-shard coordinator degenerates to the serial
+// RunUntil.
+func (c *Coordinator) RunUntil(deadline time.Duration) {
+	switch {
+	case len(c.shards) == 0:
+		return
+	case len(c.shards) == 1:
+		c.shards[0].eng.RunUntil(deadline)
+		return
+	case c.lookahead <= 0:
+		// No boundaries: the shards are fully independent simulations.
+		for _, s := range c.shards {
+			s.eng.RunUntil(deadline)
+		}
+		return
+	}
+
+	// Workers live for the duration of this call: window dispatches and
+	// barrier acks ride two unbuffered channels per shard, whose
+	// send/receive pairs are the happens-before edges that hand each
+	// engine between its worker and the coordinator.
+	for _, s := range c.shards {
+		s.windowCh = make(chan time.Duration)
+		s.doneCh = make(chan struct{})
+		ev := s.eng.peek()
+		s.hasNext = ev != nil
+		if s.hasNext {
+			s.nextAt = ev.at
+		}
+		go s.work()
+	}
+	defer func() {
+		for _, s := range c.shards {
+			close(s.windowCh)
+		}
+	}()
+
+	active := make([]*Shard, 0, len(c.shards))
+	for {
+		t, ok := c.minNext()
+		if !ok || t > deadline {
+			break
+		}
+		// Half-open window [t, w); the final window stretches one
+		// nanosecond past the deadline so events exactly at it still run.
+		w := t + c.lookahead
+		if w > deadline {
+			w = deadline + 1
+		}
+		// Dispatch only to shards with work inside the window — an idle
+		// shard's cached nextAt stays valid, and skipping it skips two
+		// goroutine wakeups. Dispatch precedes any wait so active shards
+		// run concurrently. The dispatched set is remembered explicitly:
+		// a worker overwrites its shard's nextAt/hasNext before acking,
+		// so re-testing the predicate here would race and could skip the
+		// ack a worker is blocked on.
+		active = active[:0]
+		for _, s := range c.shards {
+			if s.hasNext && s.nextAt < w {
+				s.windowCh <- w
+				active = append(active, s)
+			}
+		}
+		for _, s := range active {
+			<-s.doneCh
+		}
+		c.drainOutboxes()
+	}
+	for _, s := range c.shards {
+		s.eng.advanceTo(deadline)
+	}
+}
+
+// work is the shard's worker loop: one runBefore per dispatched window.
+func (s *Shard) work() {
+	for w := range s.windowCh {
+		s.nextAt, s.hasNext = s.eng.runBefore(w)
+		s.doneCh <- struct{}{}
+	}
+}
+
+// minNext returns the earliest pending event time across shards.
+func (c *Coordinator) minNext() (time.Duration, bool) {
+	var min time.Duration
+	ok := false
+	for _, s := range c.shards {
+		if s.hasNext && (!ok || s.nextAt < min) {
+			min = s.nextAt
+			ok = true
+		}
+	}
+	return min, ok
+}
+
+// drainOutboxes injects every parked cross-shard delivery into its
+// destination engine. Injection order is irrelevant to the result (the
+// queue orders purely by key) but outboxes are drained in shard order
+// anyway so the engine's internal layout is reproducible too.
+func (c *Coordinator) drainOutboxes() {
+	for _, s := range c.shards {
+		for i := range s.outbox {
+			r := &s.outbox[i]
+			r.dst.eng.injectRemote(r.at, r.sentAt, uint32(1+s.id), r.seq, r.fn, r.arg)
+			if !r.dst.hasNext || r.at < r.dst.nextAt {
+				r.dst.nextAt, r.dst.hasNext = r.at, true
+			}
+			// Release the callback and payload references immediately;
+			// the outbox slice is reused across windows.
+			r.fn, r.arg = nil, nil
+		}
+		s.outbox = s.outbox[:0]
+	}
+}
+
+// Processed returns the total events executed across all shards. For a
+// workload identical to a serial run it equals the serial engine's
+// Processed count: sharding moves events between queues but neither
+// adds nor removes any.
+func (c *Coordinator) Processed() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.eng.processed
+	}
+	return n
+}

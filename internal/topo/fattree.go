@@ -168,6 +168,145 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 // edge tier's.
 const ecmpAggSalt = 0x5bd1e995
 
+// blockOf maps item i of n onto one of shards contiguous blocks.
+func blockOf(i, n, shards int) int { return i * shards / n }
+
+// NewFatTreeSharded wires the same fat-tree across a coordinator's
+// shards. Pods are block-partitioned — pod p (its hosts, edge and
+// aggregation switches) lands on shard p*shards/k — and the cores are
+// block-distributed the same way, so the only cross-shard links are
+// agg<->core cables between different blocks (every one with delay
+// cfg.Delay = the lookahead). shards == 1 degenerates to the serial
+// wiring on one shard engine; shards must not exceed the pod count.
+// FatTree.Eng is shard 0's engine; drive with coord.RunUntil.
+func NewFatTreeSharded(coord *sim.Coordinator, cfg FatTreeConfig, shards int) (*FatTree, *Partition) {
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.K%2 != 0 {
+		panic("topo: fat-tree K must be even")
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 10 * units.Gbps
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = time.Microsecond
+	}
+
+	k := cfg.K
+	half := k / 2
+	pods := k
+	hostsPerPod := half * half
+	nHosts := pods * hostsPerPod
+	nCores := half * half
+	if shards > pods {
+		panic("topo: fat-tree shard count must not exceed the pod count")
+	}
+	sb := newShardBuilder(coord, shards)
+	podShard := func(p int) int { return blockOf(p, pods, shards) }
+	coreShard := func(c int) int { return blockOf(c, nCores, shards) }
+
+	ft := &FatTree{Eng: sb.engine(0), cfg: cfg}
+	for i := 0; i < pods*half; i++ {
+		sh := podShard(i / half)
+		eid, aid := pkt.NodeID(1001+i), pkt.NodeID(2001+i)
+		sb.assign(eid, sh)
+		sb.assign(aid, sh)
+		ft.Edges = append(ft.Edges, netsim.NewSwitch(sb.engine(sh), eid))
+		ft.Aggs = append(ft.Aggs, netsim.NewSwitch(sb.engine(sh), aid))
+	}
+	for i := 0; i < nCores; i++ {
+		id := pkt.NodeID(3001 + i)
+		sb.assign(id, coreShard(i))
+		ft.Cores = append(ft.Cores, netsim.NewSwitch(sb.engine(coreShard(i)), id))
+	}
+
+	link := func(from netsim.Node, to netsim.Node) *netsim.Link {
+		return sb.link(from.NodeID(), to.NodeID(), cfg.Rate, cfg.Delay, to)
+	}
+
+	// Hosts and host<->edge links (pod-local, never cut).
+	for i := 0; i < nHosts; i++ {
+		p := i / hostsPerPod
+		edge := ft.Edges[p*half+(i%hostsPerPod)/half]
+		id := pkt.NodeID(i + 1)
+		sb.assign(id, podShard(p))
+		h := netsim.NewHost(sb.engine(podShard(p)), id)
+		h.AttachNIC(link(h, edge))
+		edge.AddPort(cfg.Ports.newPort(sb.engine(podShard(p)), link(edge, h)))
+		ft.Hosts = append(ft.Hosts, h)
+	}
+
+	// Edge<->agg links, pod by pod (pod-local, never cut).
+	for p := 0; p < pods; p++ {
+		eng := sb.engine(podShard(p))
+		for e := 0; e < half; e++ {
+			edge := ft.Edges[p*half+e]
+			for j := 0; j < half; j++ {
+				edge.AddPort(cfg.Ports.newPort(eng, link(edge, ft.Aggs[p*half+j])))
+			}
+		}
+		for j := 0; j < half; j++ {
+			agg := ft.Aggs[p*half+j]
+			for e := 0; e < half; e++ {
+				agg.AddPort(cfg.Ports.newPort(eng, link(agg, ft.Edges[p*half+e])))
+			}
+		}
+	}
+	// Agg<->core links: the partition's only cut edges.
+	for p := 0; p < pods; p++ {
+		for j := 0; j < half; j++ {
+			agg := ft.Aggs[p*half+j]
+			for i := 0; i < half; i++ {
+				agg.AddPort(cfg.Ports.newPort(sb.engine(podShard(p)), link(agg, ft.Cores[j*half+i])))
+			}
+		}
+	}
+	for c, core := range ft.Cores {
+		for p := 0; p < pods; p++ {
+			core.AddPort(cfg.Ports.newPort(sb.engine(coreShard(c)), link(core, ft.Aggs[p*half+c/half])))
+		}
+	}
+
+	// Routing, identical to the serial builder.
+	hostPod := func(dst pkt.NodeID) int { return (int(dst) - 1) / hostsPerPod }
+	hostEdge := func(dst pkt.NodeID) int { return ((int(dst) - 1) % hostsPerPod) / half }
+	hostDown := func(dst pkt.NodeID) int { return (int(dst) - 1) % half }
+	for i, edge := range ft.Edges {
+		p, e := i/half, i%half
+		edge.SetRoute(func(pk *pkt.Packet) int {
+			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
+				return -1
+			}
+			if hostPod(pk.Dst) == p && hostEdge(pk.Dst) == e {
+				return hostDown(pk.Dst)
+			}
+			return half + int(ecmpHash(uint64(pk.Flow))%uint64(half))
+		})
+	}
+	for i, agg := range ft.Aggs {
+		p := i / half
+		agg.SetRoute(func(pk *pkt.Packet) int {
+			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
+				return -1
+			}
+			if hostPod(pk.Dst) == p {
+				return hostEdge(pk.Dst)
+			}
+			return half + int(ecmpHash(uint64(pk.Flow)^ecmpAggSalt)%uint64(half))
+		})
+	}
+	for _, core := range ft.Cores {
+		core.SetRoute(func(pk *pkt.Packet) int {
+			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
+				return -1
+			}
+			return hostPod(pk.Dst)
+		})
+	}
+	return ft, sb.part
+}
+
 // NumHosts returns the host count (k^3/4).
 func (ft *FatTree) NumHosts() int { return len(ft.Hosts) }
 

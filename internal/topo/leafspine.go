@@ -20,8 +20,15 @@ type LeafSpineConfig struct {
 	HostsPerLeaf int
 	// Rate is the capacity of every link (default 10 Gbps).
 	Rate units.Rate
-	// Delay is the one-way propagation delay per link (default 5us).
+	// Delay is the one-way propagation delay per host<->leaf link
+	// (default 5us).
 	Delay time.Duration
+	// FabricDelay is the one-way propagation delay per leaf<->spine
+	// link (default Delay). Making it differ from Delay breaks the
+	// uniform delay lattice, which the sharded differential tests use to
+	// rule out same-instant ties between fabric-internal and cross-shard
+	// arrivals (see DESIGN.md section 8).
+	FabricDelay time.Duration
 	// Ports configures every switch port (required).
 	Ports PortProfile
 	// PerPacketECMP sprays individual packets across spines instead of
@@ -63,6 +70,9 @@ func NewLeafSpine(eng *sim.Engine, cfg LeafSpineConfig) *LeafSpine {
 	if cfg.Delay == 0 {
 		cfg.Delay = 5 * time.Microsecond
 	}
+	if cfg.FabricDelay == 0 {
+		cfg.FabricDelay = cfg.Delay
+	}
 
 	ls := &LeafSpine{Eng: eng, cfg: cfg}
 	nHosts := cfg.Leaves * cfg.HostsPerLeaf
@@ -88,12 +98,12 @@ func NewLeafSpine(eng *sim.Engine, cfg LeafSpineConfig) *LeafSpine {
 	// spine down-ports (index = leaf number).
 	for _, leaf := range ls.Leaves {
 		for _, spine := range ls.Spines {
-			leaf.AddPort(cfg.Ports.newPort(eng, netsim.NewLink(eng, cfg.Rate, cfg.Delay, spine)))
+			leaf.AddPort(cfg.Ports.newPort(eng, netsim.NewLink(eng, cfg.Rate, cfg.FabricDelay, spine)))
 		}
 	}
 	for _, spine := range ls.Spines {
 		for _, leaf := range ls.Leaves {
-			spine.AddPort(cfg.Ports.newPort(eng, netsim.NewLink(eng, cfg.Rate, cfg.Delay, leaf)))
+			spine.AddPort(cfg.Ports.newPort(eng, netsim.NewLink(eng, cfg.Rate, cfg.FabricDelay, leaf)))
 		}
 	}
 
@@ -131,6 +141,112 @@ func NewLeafSpine(eng *sim.Engine, cfg LeafSpineConfig) *LeafSpine {
 	return ls
 }
 
+// NewLeafSpineSharded wires the same fabric across a coordinator's
+// shards: all hosts on shard 0, all switches (leaves and spines) on
+// shard 1. The only cross-shard links are the host<->leaf cables, so
+// the lookahead is cfg.Delay regardless of FabricDelay. shards == 1
+// degenerates to the serial wiring on a single shard engine.
+// LeafSpine.Eng is shard 0's engine (the hosts' clock); drive the
+// simulation with coord.RunUntil.
+func NewLeafSpineSharded(coord *sim.Coordinator, cfg LeafSpineConfig, shards int) (*LeafSpine, *Partition) {
+	if cfg.Leaves == 0 {
+		cfg.Leaves = 4
+	}
+	if cfg.Spines == 0 {
+		cfg.Spines = 4
+	}
+	if cfg.HostsPerLeaf == 0 {
+		cfg.HostsPerLeaf = 12
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 10 * units.Gbps
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = 5 * time.Microsecond
+	}
+	if cfg.FabricDelay == 0 {
+		cfg.FabricDelay = cfg.Delay
+	}
+	if shards > 2 {
+		panic("topo: a leaf-spine partitions into at most 2 shards (hosts, fabric)")
+	}
+	sb := newShardBuilder(coord, shards)
+	fabShard := 0
+	if shards == 2 {
+		fabShard = 1
+	}
+
+	ls := &LeafSpine{Eng: sb.engine(0), cfg: cfg}
+	nHosts := cfg.Leaves * cfg.HostsPerLeaf
+
+	for l := 0; l < cfg.Leaves; l++ {
+		id := pkt.NodeID(1001 + l)
+		sb.assign(id, fabShard)
+		ls.Leaves = append(ls.Leaves, netsim.NewSwitch(sb.engine(fabShard), id))
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		id := pkt.NodeID(2001 + s)
+		sb.assign(id, fabShard)
+		ls.Spines = append(ls.Spines, netsim.NewSwitch(sb.engine(fabShard), id))
+	}
+
+	// Hosts and host<->leaf links (the cut edges when shards == 2).
+	for i := 0; i < nHosts; i++ {
+		leaf := ls.Leaves[i/cfg.HostsPerLeaf]
+		id := pkt.NodeID(i + 1)
+		sb.assign(id, 0)
+		h := netsim.NewHost(sb.engine(0), id)
+		h.AttachNIC(sb.link(id, leaf.NodeID(), cfg.Rate, cfg.Delay, leaf))
+		leaf.AddPort(cfg.Ports.newPort(sb.engine(fabShard),
+			sb.link(leaf.NodeID(), id, cfg.Rate, cfg.Delay, h)))
+		ls.Hosts = append(ls.Hosts, h)
+	}
+
+	// Fabric-internal links, always local to the fabric shard.
+	for _, leaf := range ls.Leaves {
+		for _, spine := range ls.Spines {
+			leaf.AddPort(cfg.Ports.newPort(sb.engine(fabShard),
+				sb.link(leaf.NodeID(), spine.NodeID(), cfg.Rate, cfg.FabricDelay, spine)))
+		}
+	}
+	for _, spine := range ls.Spines {
+		for _, leaf := range ls.Leaves {
+			spine.AddPort(cfg.Ports.newPort(sb.engine(fabShard),
+				sb.link(spine.NodeID(), leaf.NodeID(), cfg.Rate, cfg.FabricDelay, leaf)))
+		}
+	}
+
+	// Routing, identical to the serial builder.
+	hostLeaf := func(dst pkt.NodeID) int { return (int(dst) - 1) / cfg.HostsPerLeaf }
+	hostDown := func(dst pkt.NodeID) int { return (int(dst) - 1) % cfg.HostsPerLeaf }
+	for l, leaf := range ls.Leaves {
+		l := l
+		var sprayNext int
+		leaf.SetRoute(func(p *pkt.Packet) int {
+			if int(p.Dst) < 1 || int(p.Dst) > nHosts {
+				return -1
+			}
+			if hostLeaf(p.Dst) == l {
+				return hostDown(p.Dst)
+			}
+			if cfg.PerPacketECMP {
+				sprayNext = (sprayNext + 1) % cfg.Spines
+				return cfg.HostsPerLeaf + sprayNext
+			}
+			return cfg.HostsPerLeaf + int(ecmpHash(uint64(p.Flow))%uint64(cfg.Spines))
+		})
+	}
+	for _, spine := range ls.Spines {
+		spine.SetRoute(func(p *pkt.Packet) int {
+			if int(p.Dst) < 1 || int(p.Dst) > nHosts {
+				return -1
+			}
+			return hostLeaf(p.Dst)
+		})
+	}
+	return ls, sb.part
+}
+
 // NumHosts returns the host count.
 func (ls *LeafSpine) NumHosts() int { return len(ls.Hosts) }
 
@@ -141,8 +257,8 @@ func (ls *LeafSpine) Host(i int) *netsim.Host { return ls.Hosts[i] }
 // spine -> leaf -> host and back): the value used for ECN threshold
 // derivation in the large-scale experiments.
 func (ls *LeafSpine) BaseRTT() time.Duration {
-	// 4 links each way.
-	prop := 8 * ls.cfg.Delay
+	// 4 links each way: two host<->leaf edges and two leaf<->spine edges.
+	prop := 4*ls.cfg.Delay + 4*ls.cfg.FabricDelay
 	dataSer := 4 * units.Serialization(units.MTU, ls.cfg.Rate)
 	ackSer := 4 * units.Serialization(units.AckSize, ls.cfg.Rate)
 	return prop + dataSer + ackSer

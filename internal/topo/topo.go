@@ -33,8 +33,15 @@ type MarkerFactory func() ecn.Marker
 type PortProfile struct {
 	// Weights are the queue weights (length = queue count).
 	Weights []float64
-	// NewSched builds each port's scheduler (required).
+	// NewSched builds each port's scheduler (required unless
+	// NewSchedWith is set).
 	NewSched SchedFactory
+	// NewSchedWith, when non-nil, overrides NewSched and receives the
+	// engine driving the port. Sharded topologies need it: ports live on
+	// different shard engines, so a factory pre-bound to one clock (like
+	// DWRRFactory's) would feed every other shard's schedulers the wrong
+	// time.
+	NewSchedWith func(eng *sim.Engine, weights []float64) sched.Scheduler
 	// NewMarker builds each port's marker (nil = no marking).
 	NewMarker MarkerFactory
 	// BufferBytes is the shared per-port buffer (0 = unlimited).
@@ -47,8 +54,14 @@ func (pp PortProfile) newPort(eng *sim.Engine, link *netsim.Link) *netsim.Port {
 	if pp.NewMarker != nil {
 		m = pp.NewMarker()
 	}
+	var sc sched.Scheduler
+	if pp.NewSchedWith != nil {
+		sc = pp.NewSchedWith(eng, pp.Weights)
+	} else {
+		sc = pp.NewSched(pp.Weights)
+	}
 	return netsim.NewPort(eng, link, netsim.PortConfig{
-		Sched:       pp.NewSched(pp.Weights),
+		Sched:       sc,
 		Marker:      m,
 		BufferBytes: pp.BufferBytes,
 	})
@@ -69,6 +82,19 @@ func DWRRFactory(eng *sim.Engine) SchedFactory {
 	return func(weights []float64) sched.Scheduler {
 		return sched.NewDWRR(weights, units.MTU, sched.WithClock(eng.Now))
 	}
+}
+
+// DWRRSched builds one DWRR scheduler on the given engine's clock. Use
+// it as PortProfile.NewSchedWith in sharded topologies (the per-shard
+// counterpart of DWRRFactory).
+func DWRRSched(eng *sim.Engine, weights []float64) sched.Scheduler {
+	return sched.NewDWRR(weights, units.MTU, sched.WithClock(eng.Now))
+}
+
+// WRRSched builds one WRR scheduler on the given engine's clock; the
+// per-shard counterpart of WRRFactory.
+func WRRSched(eng *sim.Engine, weights []float64) sched.Scheduler {
+	return sched.NewWRR(weights, sched.WithWRRClock(eng.Now))
 }
 
 // WRRFactory returns a SchedFactory building WRR schedulers wired to

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"sync"
 	"time"
 
 	"pmsb/internal/netsim"
@@ -68,22 +69,46 @@ func WithAckDelay(d time.Duration) ReceiverOption {
 	return func(r *Receiver) { r.ackDelay = d }
 }
 
+// receiverPool recycles Receiver records across flows; see senderPool
+// for the reuse-safety argument.
+var receiverPool = sync.Pool{New: func() any { return new(Receiver) }}
+
 // NewReceiver creates a receiver for flow f at host dst, acknowledging
-// back to src. service classifies the reverse (ACK) path.
+// back to src. service classifies the reverse (ACK) path. Like the
+// sender, the receiver binds to dst's own engine (== eng in
+// single-engine topologies, the host's shard engine in sharded ones).
 func NewReceiver(eng *sim.Engine, dst *netsim.Host, f pkt.FlowID, src pkt.NodeID,
 	service int, opts ...ReceiverOption) *Receiver {
-	r := &Receiver{
+	if he := dst.Engine(); he != nil {
+		eng = he
+	}
+	r := receiverPool.Get().(*Receiver)
+	ooo := r.ooo[:0]
+	*r = Receiver{
 		eng:     eng,
 		host:    dst,
 		flow:    f,
 		src:     src,
 		service: service,
+		ooo:     ooo,
 	}
 	for _, opt := range opts {
 		opt(r)
 	}
-	dst.Attach(f, netsim.HandlerFunc(r.handleData))
+	dst.Attach(f, r)
 	return r
+}
+
+// Handle implements netsim.Handler: the receiver consumes its flow's
+// data packets directly, with no adapter closure.
+func (r *Receiver) Handle(p *pkt.Packet) { r.handleData(p) }
+
+// release detaches the receiver, disarms its flush timer and returns
+// the record to the pool. See Flow.Release.
+func (r *Receiver) release() {
+	r.flushT.Cancel()
+	r.host.Detach(r.flow)
+	receiverPool.Put(r)
 }
 
 // Goodput returns the in-order payload bytes delivered so far.

@@ -77,12 +77,27 @@ type Sender struct {
 	probe *obs.FlowProbe
 }
 
+// senderPool recycles Sender records across flows: workload sweeps
+// create thousands of short flows, and reusing the records (together
+// with Flow.Release) removes per-flow setup allocations. A released
+// record may still be referenced by cancelled timer events riding the
+// queue; those are reaped without firing, so reuse is safe.
+var senderPool = sync.Pool{New: func() any { return new(Sender) }}
+
 // NewSender creates a DCTCP sender at host src sending size bytes (0 for
 // a long-lived flow) to dst under flow id f, classified into the given
 // service. onComplete (may be nil) fires when the last byte is acked.
+// The sender is driven by src's engine (identical to eng in
+// single-engine topologies; in sharded ones the host's shard engine is
+// the only correct clock, so eng is consulted only when src has no
+// engine of its own).
 func NewSender(eng *sim.Engine, src *netsim.Host, f pkt.FlowID, dst pkt.NodeID,
 	service int, size int64, cfg Config, onComplete func(*Sender)) *Sender {
-	s := &Sender{
+	if he := src.Engine(); he != nil {
+		eng = he
+	}
+	s := senderPool.Get().(*Sender)
+	*s = Sender{
 		eng:        eng,
 		host:       src,
 		flow:       f,
@@ -94,8 +109,25 @@ func NewSender(eng *sim.Engine, src *netsim.Host, f pkt.FlowID, dst pkt.NodeID,
 	}
 	s.cwnd = float64(s.cfg.InitWindow)
 	s.ssthresh = float64(s.cfg.MaxWindow)
-	src.Attach(f, netsim.HandlerFunc(s.handleAck))
+	src.Attach(f, s)
 	return s
+}
+
+// Handle implements netsim.Handler: the sender consumes its flow's
+// ACKs directly, with no adapter closure.
+func (s *Sender) Handle(p *pkt.Packet) { s.handleAck(p) }
+
+// release detaches the sender from its host, disarms its timers and
+// returns the record to the pool. See Flow.Release.
+func (s *Sender) release() {
+	s.rtoTimer.Cancel()
+	s.paceTimer.Cancel()
+	s.host.Detach(s.flow)
+	s.onComplete = nil
+	s.cfg = Config{}
+	s.probe = nil
+	s.rttSamples = nil
+	senderPool.Put(s)
 }
 
 // Start begins transmission at the current virtual time.
@@ -108,6 +140,18 @@ func (s *Sender) Start() {
 	s.alphaSeq = 0
 	s.probe = s.cfg.Obs.OpenFlow(s.startedAt, s.flow, s.service, s.size)
 	s.trySend()
+}
+
+// senderStart is the flow-start trampoline (the sender rides in the
+// event arg), so scheduling a start never allocates.
+func senderStart(arg any) { arg.(*Sender).Start() }
+
+// StartAt schedules Start at absolute virtual time at. It is the
+// allocation-free alternative to eng.ScheduleAt(at, s.Start), and it
+// always lands on the sender's own engine — required in sharded
+// topologies, where the caller may not hold the right shard's engine.
+func (s *Sender) StartAt(at time.Duration) {
+	s.eng.ScheduleCallAt(at, senderStart, s)
 }
 
 // Flow returns the sender's flow ID.
