@@ -27,22 +27,24 @@ test-short:
 	$(GO) test -short ./...
 
 # Key hot-path benchmarks, recorded as JSON so the perf trajectory is
-# tracked from PR to PR (BENCH_1.json was the first point, BENCH_4.json
+# tracked from PR to PR (BENCH_1.json was the first point, BENCH_5.json
 # the current one; benchjson prints the delta against BENCH_BASE but
 # never fails the build — timings on shared machines are a trend line,
 # not a gate). Each benchmark runs BENCHCOUNT times and benchjson keeps
 # the fastest run: min-of-N suppresses one-off scheduler noise, which
 # routinely inflates single runs by 5-15% on shared machines — deltas
 # under ~5% between min-of-3 reports are still noise, not signal.
-# BENCHTIME trades precision for wall time — CI uses a short value. Run
-# `make bench-all` for every paper table/figure. The regex is anchored,
-# so BenchmarkFatTreeSharded must be listed on its own — the
-# BenchmarkFatTree alternative does not cover it.
-KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
+# Parallel speedups additionally depend on the machine's core count:
+# numbers recorded on a single-core runner understate every sharded
+# row. BENCHTIME trades precision for wall time — CI uses a short
+# value. Run `make bench-all` for every paper table/figure. The regex
+# is anchored, so the sharded fat-tree benchmarks must be listed on
+# their own — the BenchmarkFatTree alternative does not cover them.
+KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkFatTree16Sharded|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_4.json
-BENCH_BASE ?= BENCH_3.json
+BENCH_OUT ?= BENCH_5.json
+BENCH_BASE ?= BENCH_4.json
 
 bench:
 	$(GO) test -run '^$$' -bench "$(KEY_BENCHES)" -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . \

@@ -302,26 +302,56 @@ func driveFatTreeFlows(b *testing.B, ft *topo.FatTree, coord *sim.Coordinator) {
 }
 
 // BenchmarkFatTreeSharded runs the same k=8 fat-tree workload through
-// the shard coordinator at increasing shard counts (1 shard is the
-// degenerate serial path and measures pure coordinator overhead; the
-// sharded runs split the pods and cores across engines). Compare against
-// BenchmarkFatTree for the serial baseline.
+// the shard coordinator at increasing shard counts and under both
+// windowing protocols (1 shard is the degenerate serial path and
+// measures pure coordinator overhead; the sharded runs split the pods
+// and cores across engines). global vs channel at the same shard count
+// is the A/B for the per-channel-clock protocol — identical payloads,
+// different window widths. Compare against BenchmarkFatTree for the
+// serial baseline.
 func BenchmarkFatTreeSharded(b *testing.B) {
-	for _, shards := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("%d", shards), func(b *testing.B) {
+	for _, v := range []struct {
+		name  string
+		mode  sim.ParMode
+		steal bool
+	}{
+		{"global", sim.ParGlobal, false},
+		{"channel", sim.ParChannel, false},
+		{"channel-steal", sim.ParChannel, true},
+	} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/%d", v.name, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					runFatTreeShardedOnce(b, 8, shards, v.mode, v.steal)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFatTree16Sharded scales the fabric to k=16 (1024 hosts, the
+// regime the roadmap's large-topology line targets) at the serial-path
+// and full shard counts. The workload is the same 2048-flow mix, so the
+// row measures fabric overhead growth, not extra traffic.
+func BenchmarkFatTree16Sharded(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("channel/%d", shards), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				runFatTreeShardedOnce(b, shards)
+				runFatTreeShardedOnce(b, 16, shards, sim.ParChannel, false)
 			}
 		})
 	}
 }
 
-func runFatTreeShardedOnce(b *testing.B, shards int) {
+func runFatTreeShardedOnce(b *testing.B, k, shards int, mode sim.ParMode, steal bool) {
 	b.Helper()
 	coord := sim.NewCoordinator()
+	coord.SetMode(mode)
+	coord.SetWorkStealing(steal)
 	ft, _ := topo.NewFatTreeSharded(coord, topo.FatTreeConfig{
-		K: 8,
+		K: k,
 		Ports: topo.PortProfile{
 			Weights:      topo.EqualWeights(8),
 			NewSchedWith: topo.DWRRSched,

@@ -43,6 +43,7 @@ import (
 
 	"pmsb/internal/experiment"
 	"pmsb/internal/obs"
+	"pmsb/internal/sim"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 		out       = fs.String("out", "", "write output to this file instead of stdout")
 		jobs      = fs.Int("jobs", runtime.NumCPU(), "max experiments simulated in parallel (payload is identical at any value)")
 		shards    = fs.Int("shards", 1, "shard each large-scale simulation across this many parallel engines (a sharded run costs that many -jobs tokens; output is deterministic at any fixed value)")
+		par       = fs.String("par", "channel", "parallel windowing protocol for sharded runs: channel, channel-steal, or global (all byte-identical; A/B escape hatch)")
 		summary   = fs.Bool("summary", true, "append the run manifest as a trailing '# summary' block (tsv only)")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
 		memprof   = fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
@@ -149,7 +151,14 @@ func run(args []string, stdout io.Writer) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
 	}
-	opt := experiment.Options{Quick: *quick, Seed: *seed, Repeats: *repeats, Shards: *shards}
+	parMode, steal, err := sim.ParseParMode(*par)
+	if err != nil {
+		return err
+	}
+	opt := experiment.Options{
+		Quick: *quick, Seed: *seed, Repeats: *repeats,
+		Shards: *shards, Par: parMode, Steal: steal,
+	}
 	tracing := *tracefile != "" || *metrics != ""
 	if tracing {
 		// The bus is not synchronized: restrict tracing to one serially

@@ -206,6 +206,37 @@ func TestJobsDeterminism(t *testing.T) {
 	}
 }
 
+// The -par protocols are an A/B switch, not a results knob: every mode
+// must print byte-identical output at the same shard count.
+func TestParModesDeterminism(t *testing.T) {
+	args := []string{
+		"-experiment", "fct-dwrr",
+		"-quick", "-summary=false", "-shards", "2",
+	}
+	outputs := make(map[string]string, 3)
+	for _, par := range []string{"channel", "channel-steal", "global"} {
+		out, err := capture(t, append(args, "-par", par)...)
+		if err != nil {
+			t.Fatalf("-par %s: %v", par, err)
+		}
+		outputs[par] = out
+	}
+	if outputs["channel"] != outputs["global"] {
+		t.Fatalf("-par channel output differs from -par global:\n--- channel ---\n%s\n--- global ---\n%s",
+			outputs["channel"], outputs["global"])
+	}
+	if outputs["channel"] != outputs["channel-steal"] {
+		t.Fatal("-par channel-steal output differs from -par channel")
+	}
+}
+
+func TestParBadValue(t *testing.T) {
+	_, err := capture(t, "-experiment", "fct-dwrr", "-quick", "-par", "frobnicate")
+	if err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Fatalf("bad -par value: err = %v", err)
+	}
+}
+
 // TestTraceExport drives the observability path end to end: a traced
 // fig8 run must produce a parseable JSONL event trace covering the
 // bottleneck port and a metrics dump naming its per-queue counters.

@@ -2,6 +2,7 @@ package pmsb_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
@@ -163,10 +164,25 @@ func assertIdenticalRuns(t *testing.T, name string, heap, cal workloadResult) {
 // shard); the serial baseline uses the same two-bus split so the traces
 // are comparable line by line.
 
+// parVariant names one coordinator protocol configuration. Every
+// variant must produce byte-identical results; the sweep below is the
+// proof.
+type parVariant struct {
+	name  string
+	mode  sim.ParMode
+	steal bool
+}
+
+var parVariants = []parVariant{
+	{"global", sim.ParGlobal, false},
+	{"channel", sim.ParChannel, false},
+	{"channel-steal", sim.ParChannel, true},
+}
+
 // runShardedDumbbell runs the dumbbell differential workload. shards ==
 // 0 is the serial reference (plain engine, serial builder); shards >= 1
-// builds through the coordinator.
-func runShardedDumbbell(t *testing.T, shards int) workloadResult {
+// builds through the coordinator with the variant's protocol.
+func runShardedDumbbell(t *testing.T, shards int, v parVariant) workloadResult {
 	t.Helper()
 	switchBus := obs.NewBus(1 << 16)
 	hostBus := obs.NewBus(1 << 16)
@@ -188,6 +204,8 @@ func runShardedDumbbell(t *testing.T, shards int) workloadResult {
 		d = topo.NewDumbbell(eng, cfg)
 	} else {
 		coord = sim.NewCoordinator()
+		coord.SetMode(v.mode)
+		coord.SetWorkStealing(v.steal)
 		d, _ = topo.NewDumbbellSharded(coord, cfg, shards)
 	}
 	d.Switch.Observe(switchBus)
@@ -220,7 +238,7 @@ func runShardedDumbbell(t *testing.T, shards int) workloadResult {
 
 // runShardedLeafSpine runs the leaf-spine differential workload (same
 // convention: shards == 0 is the serial reference).
-func runShardedLeafSpine(t *testing.T, shards int) workloadResult {
+func runShardedLeafSpine(t *testing.T, shards int, v parVariant) workloadResult {
 	t.Helper()
 	switchBus := obs.NewBus(1 << 16)
 	hostBus := obs.NewBus(1 << 16)
@@ -248,6 +266,8 @@ func runShardedLeafSpine(t *testing.T, shards int) workloadResult {
 		ls = topo.NewLeafSpine(eng, cfg)
 	} else {
 		coord = sim.NewCoordinator()
+		coord.SetMode(v.mode)
+		coord.SetWorkStealing(v.steal)
 		ls, _ = topo.NewLeafSpineSharded(coord, cfg, shards)
 	}
 	ls.Leaves[0].Observe(switchBus)
@@ -299,37 +319,202 @@ func twoBusTrace(t *testing.T, switchBus, hostBus *obs.Bus) []byte {
 	return buf.Bytes()
 }
 
+// multiBusTrace serializes a slice of buses (one per pod) into one
+// labeled byte stream, same convention as twoBusTrace.
+func multiBusTrace(t *testing.T, buses []*obs.Bus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, b := range buses {
+		fmt.Fprintf(&buf, "# bus %d\n", i)
+		if err := b.Ring().WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
 // A dumbbell split hosts-vs-switch must be byte-identical to the serial
-// run: same switch trace, same transport trace, same FCTs, same total
-// event count. The 1-shard build is the degenerate check that the
-// sharded wiring itself changes nothing.
+// run under every windowing protocol: same switch trace, same transport
+// trace, same FCTs, same total event count. The 1-shard build is the
+// degenerate check that the sharded wiring itself changes nothing.
 func TestDifferentialShardedDumbbell(t *testing.T) {
-	serial := runShardedDumbbell(t, 0)
+	serial := runShardedDumbbell(t, 0, parVariant{})
 	if len(serial.trace) == 0 {
 		t.Fatal("empty trace: the workload recorded nothing")
 	}
-	assertIdenticalRuns(t, "dumbbell serial-vs-1shard", serial, runShardedDumbbell(t, 1))
-	assertIdenticalRuns(t, "dumbbell serial-vs-2shard", serial, runShardedDumbbell(t, 2))
+	assertIdenticalRuns(t, "dumbbell serial-vs-1shard", serial,
+		runShardedDumbbell(t, 1, parVariants[0]))
+	for _, v := range parVariants {
+		assertIdenticalRuns(t, "dumbbell serial-vs-2shard/"+v.name, serial,
+			runShardedDumbbell(t, 2, v))
+	}
 }
 
 // Same gate for the leaf-spine fabric split hosts-vs-fabric. Run under
 // -race in CI, this doubles as the shard coordinator's race check on a
 // real workload.
 func TestDifferentialShardedLeafSpine(t *testing.T) {
-	serial := runShardedLeafSpine(t, 0)
+	serial := runShardedLeafSpine(t, 0, parVariant{})
 	if len(serial.trace) == 0 {
 		t.Fatal("empty trace: the workload recorded nothing")
 	}
-	assertIdenticalRuns(t, "leafspine serial-vs-1shard", serial, runShardedLeafSpine(t, 1))
-	assertIdenticalRuns(t, "leafspine serial-vs-2shard", serial, runShardedLeafSpine(t, 2))
+	assertIdenticalRuns(t, "leafspine serial-vs-1shard", serial,
+		runShardedLeafSpine(t, 1, parVariants[0]))
+	for _, v := range parVariants {
+		assertIdenticalRuns(t, "leafspine serial-vs-2shard/"+v.name, serial,
+			runShardedLeafSpine(t, 2, v))
+	}
 }
 
 // Sharded runs must also be self-deterministic: two identical 2-shard
 // runs may not diverge no matter how goroutines are scheduled.
 func TestDifferentialShardedDeterminism(t *testing.T) {
-	a := runShardedLeafSpine(t, 2)
-	b := runShardedLeafSpine(t, 2)
+	v := parVariants[2] // channel-steal: the most schedule-sensitive path
+	a := runShardedLeafSpine(t, 2, v)
+	b := runShardedLeafSpine(t, 2, v)
 	assertIdenticalRuns(t, "leafspine 2shard-vs-2shard", a, b)
+}
+
+// runShardedFatTree runs a k=8 fat-tree workload with cross-pod
+// traffic. Observability uses one bus per pod: a pod's hosts, edge and
+// aggregation switches always share one shard (pods are
+// block-partitioned and never split), so each bus is single-shard-fed
+// and its event order is comparable across serial and every shard
+// count. Core switches are not observed — their shard assignment moves
+// with the shard count. flows returns the flow set so workloads can
+// vary; each spec is (src host, dst host, size).
+func runShardedFatTree(t *testing.T, shards int, v parVariant,
+	specs [][3]int, until time.Duration) workloadResult {
+	t.Helper()
+	const k = 8
+	pods := k
+	hostsPerPod := (k / 2) * (k / 2) // 16
+	cfg := topo.FatTreeConfig{
+		K: k,
+		// Unique fabric cable lengths keep every same-instant cross-shard
+		// arrival pair distinguishable by (at, schedAt), the precondition
+		// for the sharded key to reproduce serial tie-breaks (see
+		// FatTreeConfig.FabricDelaySkew).
+		FabricDelaySkew: time.Nanosecond,
+		Ports: topo.PortProfile{
+			Weights:      topo.EqualWeights(4),
+			NewSchedWith: topo.DWRRSched,
+			NewMarker:    func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+			BufferBytes:  units.Packets(250),
+		},
+	}
+	var (
+		ft    *topo.FatTree
+		eng   *sim.Engine
+		coord *sim.Coordinator
+	)
+	if shards == 0 {
+		eng = sim.NewEngine()
+		ft = topo.NewFatTree(eng, cfg)
+	} else {
+		coord = sim.NewCoordinator()
+		coord.SetMode(v.mode)
+		coord.SetWorkStealing(v.steal)
+		ft, _ = topo.NewFatTreeSharded(coord, cfg, shards)
+	}
+
+	podBus := make([]*obs.Bus, pods)
+	for p := range podBus {
+		podBus[p] = obs.NewBus(1 << 14)
+	}
+	// Fingerprint switch-level order in two pods (first and last): their
+	// edge and agg switches are pod-local on every partition.
+	for _, p := range []int{0, pods - 1} {
+		half := k / 2
+		ft.Edges[p*half].Observe(podBus[p])
+		ft.Aggs[p*half].Observe(podBus[p])
+	}
+
+	var fid transport.FlowIDGen
+	var flows []*transport.Flow
+	for i, spec := range specs {
+		src, dst, size := spec[0], spec[1], spec[2]
+		f := transport.NewFlow(ft.Eng, ft.Hosts[src], ft.Hosts[dst], fid.Next(), i%4,
+			int64(size), transport.Config{InitWindow: 16, Obs: podBus[src/hostsPerPod]}, nil)
+		f.Sender.StartAt(time.Duration(i) * 4 * time.Microsecond)
+		flows = append(flows, f)
+	}
+	var res workloadResult
+	if coord != nil {
+		coord.RunUntil(until)
+		res.processed = coord.Processed()
+	} else {
+		eng.RunUntil(until)
+		res.processed = eng.Processed()
+	}
+	for _, f := range flows {
+		if !f.Sender.Finished() {
+			t.Fatalf("fattree flow %d did not finish", f.Sender.Flow())
+		}
+		res.fcts = append(res.fcts, f.Sender.FCT())
+	}
+	res.trace = multiBusTrace(t, podBus)
+	return res
+}
+
+// fatTreeCrossPodSpecs spreads senders over every pod with cross-pod
+// destinations, so traffic exercises the agg<->core cut links on every
+// partition.
+func fatTreeCrossPodSpecs() [][3]int {
+	const hosts, hostsPerPod = 128, 16
+	var specs [][3]int
+	for i := 0; i < 64; i++ {
+		src := (i * 7) % hosts
+		dst := (src + hostsPerPod + i*11) % hosts
+		if dst/hostsPerPod == src/hostsPerPod {
+			dst = (dst + hostsPerPod) % hosts
+		}
+		specs = append(specs, [3]int{src, dst, 50_000})
+	}
+	return specs
+}
+
+// The k=8 fat-tree differential gate: serial vs the per-channel-clock
+// coordinator at 4 and 8 shards, and vs the global-window reference, on
+// cross-pod traffic. This is the topology where channel clocks actually
+// diverge from the global protocol (distinct shard pairs, multi-hop
+// shard graph), so byte-identity here is the tentpole's correctness
+// proof.
+func TestDifferentialShardedFatTree(t *testing.T) {
+	specs := fatTreeCrossPodSpecs()
+	const until = 50 * time.Millisecond
+	serial := runShardedFatTree(t, 0, parVariant{}, specs, until)
+	if len(serial.trace) == 0 {
+		t.Fatal("empty trace: the workload recorded nothing")
+	}
+	assertIdenticalRuns(t, "fattree serial-vs-global@4", serial,
+		runShardedFatTree(t, 4, parVariants[0], specs, until))
+	assertIdenticalRuns(t, "fattree serial-vs-channel@4", serial,
+		runShardedFatTree(t, 4, parVariants[1], specs, until))
+	assertIdenticalRuns(t, "fattree serial-vs-channel@8", serial,
+		runShardedFatTree(t, 8, parVariants[1], specs, until))
+}
+
+// Skewed-load gate: an incast concentrated in pod 0 leaves seven of
+// eight shards idle most of the time — exactly the shape work-stealing
+// is for. Stolen windows must still produce byte-identical results.
+func TestDifferentialShardedFatTreeIncast(t *testing.T) {
+	const hostsPerPod = 16
+	var specs [][3]int
+	for p := 1; p < 8; p++ { // 4 senders per non-target pod -> host 0
+		for j := 0; j < 4; j++ {
+			specs = append(specs, [3]int{p*hostsPerPod + j*3, 0, 30_000})
+		}
+	}
+	const until = 50 * time.Millisecond
+	serial := runShardedFatTree(t, 0, parVariant{}, specs, until)
+	if len(serial.trace) == 0 {
+		t.Fatal("empty trace: the workload recorded nothing")
+	}
+	assertIdenticalRuns(t, "incast serial-vs-steal@8", serial,
+		runShardedFatTree(t, 8, parVariants[2], specs, until))
+	assertIdenticalRuns(t, "incast serial-vs-channel@8", serial,
+		runShardedFatTree(t, 8, parVariants[1], specs, until))
 }
 
 func TestDifferentialDumbbellWorkload(t *testing.T) {

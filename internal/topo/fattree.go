@@ -22,6 +22,17 @@ type FatTreeConfig struct {
 	Rate units.Rate
 	// Delay is the one-way propagation delay per link (default 1us).
 	Delay time.Duration
+	// FabricDelaySkew, when nonzero, gives the agg<->core cable between
+	// pod p and core c the delay Delay + (1+p*nCores+c)*FabricDelaySkew
+	// (both directions) instead of a uniform Delay — every fabric cable
+	// gets a unique length, and none matches the pod-internal delay.
+	// Differential tests use a nanosecond-scale skew so no two
+	// cross-shard arrivals can tie on (at, schedAt) through different
+	// channels, which is the precondition for the sharded tie-break to
+	// reproduce the serial one exactly (see the lane discussion in
+	// internal/sim). Physically it models unequal cable runs to the
+	// core tier; BaseRTT ignores it (it is sub-precision noise there).
+	FabricDelaySkew time.Duration
 	// Ports configures every switch port (required).
 	Ports PortProfile
 }
@@ -69,16 +80,22 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 	nHosts := pods * hostsPerPod
 
 	ft := &FatTree{Eng: eng, cfg: cfg}
+	base := switchIDBase(nHosts)
 	for i := 0; i < pods*half; i++ {
-		ft.Edges = append(ft.Edges, netsim.NewSwitch(eng, pkt.NodeID(1001+i)))
-		ft.Aggs = append(ft.Aggs, netsim.NewSwitch(eng, pkt.NodeID(2001+i)))
+		ft.Edges = append(ft.Edges, netsim.NewSwitch(eng, pkt.NodeID(base+1+i)))
+		ft.Aggs = append(ft.Aggs, netsim.NewSwitch(eng, pkt.NodeID(2*base+1+i)))
 	}
 	for i := 0; i < half*half; i++ {
-		ft.Cores = append(ft.Cores, netsim.NewSwitch(eng, pkt.NodeID(3001+i)))
+		ft.Cores = append(ft.Cores, netsim.NewSwitch(eng, pkt.NodeID(3*base+1+i)))
 	}
 
 	link := func(to netsim.Node) *netsim.Link {
 		return netsim.NewLink(eng, cfg.Rate, cfg.Delay, to)
+	}
+	nCores := half * half
+	fabricLink := func(p, c int, to netsim.Node) *netsim.Link {
+		d := cfg.Delay + time.Duration(1+p*nCores+c)*cfg.FabricDelaySkew
+		return netsim.NewLink(eng, cfg.Rate, d, to)
 	}
 
 	// Hosts and host<->edge links. Host i lives in pod i/hostsPerPod on
@@ -112,14 +129,14 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 		for j := 0; j < half; j++ {
 			agg := ft.Aggs[p*half+j]
 			for i := 0; i < half; i++ {
-				agg.AddPort(cfg.Ports.newPort(eng, link(ft.Cores[j*half+i])))
+				agg.AddPort(cfg.Ports.newPort(eng, fabricLink(p, j*half+i, ft.Cores[j*half+i])))
 			}
 		}
 	}
 	// Core down-ports in pod order, so port p reaches pod p.
 	for c, core := range ft.Cores {
 		for p := 0; p < pods; p++ {
-			core.AddPort(cfg.Ports.newPort(eng, link(ft.Aggs[p*half+c/half])))
+			core.AddPort(cfg.Ports.newPort(eng, fabricLink(p, c, ft.Aggs[p*half+c/half])))
 		}
 	}
 
@@ -168,6 +185,15 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 // edge tier's.
 const ecmpAggSalt = 0x5bd1e995
 
+// switchIDBase returns the node-ID stride for the fat-tree's switch
+// tiers: edges start at base+1, aggs at 2*base+1, cores at 3*base+1.
+// Hosts occupy 1..nHosts, so the base is the smallest multiple of 1000
+// at or above nHosts — the historical 1001/2001/3001 layout for k <= 8,
+// and collision-free for k = 16 and beyond (1024+ hosts).
+func switchIDBase(nHosts int) int {
+	return 1000 * ((nHosts + 999) / 1000)
+}
+
 // blockOf maps item i of n onto one of shards contiguous blocks.
 func blockOf(i, n, shards int) int { return i * shards / n }
 
@@ -207,22 +233,30 @@ func NewFatTreeSharded(coord *sim.Coordinator, cfg FatTreeConfig, shards int) (*
 	coreShard := func(c int) int { return blockOf(c, nCores, shards) }
 
 	ft := &FatTree{Eng: sb.engine(0), cfg: cfg}
+	base := switchIDBase(nHosts)
 	for i := 0; i < pods*half; i++ {
 		sh := podShard(i / half)
-		eid, aid := pkt.NodeID(1001+i), pkt.NodeID(2001+i)
+		eid, aid := pkt.NodeID(base+1+i), pkt.NodeID(2*base+1+i)
 		sb.assign(eid, sh)
 		sb.assign(aid, sh)
 		ft.Edges = append(ft.Edges, netsim.NewSwitch(sb.engine(sh), eid))
 		ft.Aggs = append(ft.Aggs, netsim.NewSwitch(sb.engine(sh), aid))
 	}
 	for i := 0; i < nCores; i++ {
-		id := pkt.NodeID(3001 + i)
+		id := pkt.NodeID(3*base + 1 + i)
 		sb.assign(id, coreShard(i))
 		ft.Cores = append(ft.Cores, netsim.NewSwitch(sb.engine(coreShard(i)), id))
 	}
 
 	link := func(from netsim.Node, to netsim.Node) *netsim.Link {
 		return sb.link(from.NodeID(), to.NodeID(), cfg.Rate, cfg.Delay, to)
+	}
+	// Same per-(pod, core) cable-length formula as the serial builder;
+	// these are the cut links, so a skew here also diversifies the
+	// coordinator's per-channel delays.
+	fabricLink := func(p, c int, from, to netsim.Node) *netsim.Link {
+		d := cfg.Delay + time.Duration(1+p*nCores+c)*cfg.FabricDelaySkew
+		return sb.link(from.NodeID(), to.NodeID(), cfg.Rate, d, to)
 	}
 
 	// Hosts and host<->edge links (pod-local, never cut).
@@ -258,13 +292,15 @@ func NewFatTreeSharded(coord *sim.Coordinator, cfg FatTreeConfig, shards int) (*
 		for j := 0; j < half; j++ {
 			agg := ft.Aggs[p*half+j]
 			for i := 0; i < half; i++ {
-				agg.AddPort(cfg.Ports.newPort(sb.engine(podShard(p)), link(agg, ft.Cores[j*half+i])))
+				agg.AddPort(cfg.Ports.newPort(sb.engine(podShard(p)),
+					fabricLink(p, j*half+i, agg, ft.Cores[j*half+i])))
 			}
 		}
 	}
 	for c, core := range ft.Cores {
 		for p := 0; p < pods; p++ {
-			core.AddPort(cfg.Ports.newPort(sb.engine(coreShard(c)), link(core, ft.Aggs[p*half+c/half])))
+			core.AddPort(cfg.Ports.newPort(sb.engine(coreShard(c)),
+				fabricLink(p, c, core, ft.Aggs[p*half+c/half])))
 		}
 	}
 

@@ -13,32 +13,49 @@ import (
 //
 //	start_us, src, dst, size_bytes, service
 //
-// A header row (any row whose first field is not a number) is skipped.
-// Lines must satisfy src != dst, size >= 1 and non-decreasing start
-// times are NOT required (the trace is returned as given; schedule it
-// with sim.ScheduleAt which tolerates any order).
+// The first row is treated as a header when its first cell names a
+// column rather than starting a number (fails float parsing and does
+// not begin with a digit, sign or dot). A header may have any column
+// width — exporters add columns this reader ignores — but data rows
+// must have exactly five, and a malformed data value is always an
+// error, never silently skipped (a first row like "12x3,..." begins
+// numerically, so it is a bad data row, not a header). Lines must
+// satisfy src != dst and size >= 1; non-decreasing start times are NOT
+// required (the trace is returned as given; schedule it with
+// sim.ScheduleAt which tolerates any order). Errors reference physical
+// line numbers of the input, so blank lines and the header do not
+// shift them.
 func ReadTrace(r io.Reader) ([]FlowSpec, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
+	// Column counts are validated below, per row kind, so a header row
+	// wider or narrower than the data does not trip the reader.
+	cr.FieldsPerRecord = -1
 	var out []FlowSpec
-	line := 0
+	row := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace line %d: %w", line+1, err)
+			// csv.ParseError messages already carry the physical line
+			// number; wrapping must not invent a second, diverging one.
+			return nil, fmt.Errorf("trace: %w", err)
 		}
-		line++
+		row++
+		// Physical line of the record's first field: the number a user
+		// can jump to in an editor, unlike the record count (which
+		// drifts past blank lines and the header).
+		line, _ := cr.FieldPos(0)
+		if row == 1 && isHeaderField(rec[0]) {
+			continue
+		}
 		if len(rec) != 5 {
 			return nil, fmt.Errorf("trace line %d: want 5 columns, got %d", line, len(rec))
 		}
 		startUS, err := strconv.ParseFloat(rec[0], 64)
 		if err != nil {
-			if line == 1 {
-				continue // header row
-			}
 			return nil, fmt.Errorf("trace line %d: bad start %q", line, rec[0])
 		}
 		src, err1 := strconv.Atoi(rec[1])
@@ -66,6 +83,25 @@ func ReadTrace(r io.Reader) ([]FlowSpec, error) {
 		})
 	}
 	return out, nil
+}
+
+// isHeaderField reports whether a first-row, first-column cell names a
+// column ("start_us") rather than starting a data row: it fails float
+// parsing and does not even begin numerically. A cell like "12x3"
+// begins with a digit, so it is a malformed data value — reported as
+// an error by the caller, never skipped as a header.
+func isHeaderField(s string) bool {
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return false
+	}
+	if s == "" {
+		return false
+	}
+	switch c := s[0]; {
+	case c >= '0' && c <= '9', c == '+', c == '-', c == '.':
+		return false
+	}
+	return true
 }
 
 // WriteTrace renders flows in the ReadTrace CSV format (with header).

@@ -52,6 +52,81 @@ func TestReadTraceErrors(t *testing.T) {
 	}
 }
 
+// A header is detected by its first cell, not its width: exporters
+// that add or drop columns in the header row must still round-trip.
+func TestReadTraceHeaderAnyWidth(t *testing.T) {
+	for _, in := range []string{
+		"start_us,src,dst,size_bytes,service,comment\n1.0,1,2,100,0\n", // wider header
+		"start_us,src\n1.0,1,2,100,0\n",                                // narrower header
+		"t\n1.0,1,2,100,0\n",                                           // single-cell header
+	} {
+		flows, err := ReadTrace(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("ReadTrace(%q): %v", in, err)
+		}
+		if len(flows) != 1 || flows[0].Size != 100 {
+			t.Fatalf("ReadTrace(%q): flows = %+v", in, flows)
+		}
+	}
+}
+
+// A malformed first data row must be an error, not silently dropped as
+// a header: "12x3" begins numerically, so it is bad data.
+func TestReadTraceMalformedFirstRow(t *testing.T) {
+	for _, in := range []string{
+		"12x3,1,2,100,0\n2.0,1,2,100,0\n", // bad start, begins with digit
+		"-x,1,2,100,0\n",                  // bad start, begins with sign
+		",1,2,100,0\n",                    // empty start cell
+	} {
+		_, err := ReadTrace(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("ReadTrace(%q) silently dropped a malformed first data row", in)
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("ReadTrace(%q) error %q does not name line 1", in, err)
+		}
+	}
+}
+
+// Header detection applies to row 1 only: a header-like row later in
+// the file is a malformed data row.
+func TestReadTraceHeaderBeyondRow1(t *testing.T) {
+	in := "1.0,1,2,100,0\nstart_us,src,dst,size_bytes,service\n"
+	_, err := ReadTrace(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("mid-file header-like row: err = %v, want line 2 error", err)
+	}
+}
+
+// Error messages must reference physical line numbers: blank lines and
+// the header are invisible to the CSV record count but not to a user
+// jumping to the reported line in an editor.
+func TestReadTraceLineNumbersWithBlankLines(t *testing.T) {
+	in := "start_us,src,dst,size_bytes,service\n" + // line 1
+		"0.0,0,1,1000,0\n" + // line 2
+		"\n" + // line 3: blank, skipped by the CSV reader
+		"\n" + // line 4: blank
+		"bad,1,2,100,0\n" // line 5
+	_, err := ReadTrace(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("err = %v, want a 'line 5' error", err)
+	}
+
+	in = "0.0,0,1,1000,0\n" + // line 1
+		"\n" + // line 2
+		"1.0,1,2,100\n" // line 3: four columns
+	_, err = ReadTrace(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want a 'line 3' error", err)
+	}
+
+	// Good traces with interior blank lines still parse fully.
+	flows, err := ReadTrace(strings.NewReader("1.0,1,2,100,0\n\n\n2.0,2,3,200,1\n"))
+	if err != nil || len(flows) != 2 {
+		t.Fatalf("blank-line trace: %v, %d flows", err, len(flows))
+	}
+}
+
 func TestTraceRoundTrip(t *testing.T) {
 	orig := Poisson(PoissonConfig{
 		Load: 0.5, LinkRate: 10 * units.Gbps, Hosts: 8,
