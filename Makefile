@@ -6,13 +6,17 @@ GO ?= go
 
 all: build vet test
 
-# Everything .github/workflows/ci.yml runs, in the same order.
+# Everything .github/workflows/ci.yml runs, in the same order. The
+# trace-codec fuzz pass is fail-soft: ten seconds of coverage-guided
+# decoding catches framing bugs early, but a fuzz-capable toolchain is
+# not required to pass CI.
 ci:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run TestJobsDeterminism -count=1 ./cmd/pmsbsim
+	-$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 10s ./internal/obs/
 
 build:
 	$(GO) build ./...
@@ -27,7 +31,7 @@ test-short:
 	$(GO) test -short ./...
 
 # Key hot-path benchmarks, recorded as JSON so the perf trajectory is
-# tracked from PR to PR (BENCH_1.json was the first point, BENCH_5.json
+# tracked from PR to PR (BENCH_1.json was the first point, BENCH_6.json
 # the current one; benchjson prints the delta against BENCH_BASE but
 # never fails the build — timings on shared machines are a trend line,
 # not a gate). Each benchmark runs BENCHCOUNT times and benchjson keeps
@@ -38,13 +42,14 @@ test-short:
 # numbers recorded on a single-core runner understate every sharded
 # row. BENCHTIME trades precision for wall time — CI uses a short
 # value. Run `make bench-all` for every paper table/figure. The regex
-# is anchored, so the sharded fat-tree benchmarks must be listed on
-# their own — the BenchmarkFatTree alternative does not cover them.
-KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkFatTree16Sharded|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
+# is anchored, so the sharded fat-tree and traced benchmarks must be
+# listed on their own — the BenchmarkFatTree alternative does not
+# cover them.
+KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkFatTree16Sharded|BenchmarkFatTreeTraced|BenchmarkTraceEncodeJSONL|BenchmarkTraceEncodeBinary|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_5.json
-BENCH_BASE ?= BENCH_4.json
+BENCH_OUT ?= BENCH_6.json
+BENCH_BASE ?= BENCH_5.json
 
 bench:
 	$(GO) test -run '^$$' -bench "$(KEY_BENCHES)" -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . \

@@ -2,6 +2,9 @@ package pmsb_test
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -10,6 +13,7 @@ import (
 	"pmsb/internal/ecn"
 	"pmsb/internal/experiment"
 	"pmsb/internal/netsim"
+	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sched"
 	"pmsb/internal/sim"
@@ -259,16 +263,16 @@ func runFatTreeOnce(b *testing.B) {
 			BufferBytes: units.Packets(250),
 		},
 	})
-	driveFatTreeFlows(b, ft, nil)
+	driveFatTreeFlows(b, ft, nil, nil)
 }
 
 // driveFatTreeFlows launches the shared 2048-flow workload over ft and
 // runs it to completion on coord (or serially on ft.Eng when coord is
-// nil). One completion closure is shared by every flow and the flows are
-// released afterwards, so repeated runs recycle transport state through
-// the pools instead of re-allocating 2048 senders/receivers per
-// iteration.
-func driveFatTreeFlows(b *testing.B, ft *topo.FatTree, coord *sim.Coordinator) {
+// nil). A non-nil bus traces every transport. One completion closure is
+// shared by every flow and the flows are released afterwards, so
+// repeated runs recycle transport state through the pools instead of
+// re-allocating 2048 senders/receivers per iteration.
+func driveFatTreeFlows(b *testing.B, ft *topo.FatTree, coord *sim.Coordinator, bus *obs.Bus) {
 	b.Helper()
 	const flows = 2048
 	n := ft.NumHosts()
@@ -284,7 +288,7 @@ func driveFatTreeFlows(b *testing.B, ft *topo.FatTree, coord *sim.Coordinator) {
 		src := (i * 0x9e37) % n
 		dst := (src + 1 + (i*0x79b9)%(n-1)) % n
 		f := transport.NewFlow(ft.Eng, ft.Host(src), ft.Host(dst), fid.Next(), i%8, 50_000,
-			transport.Config{InitWindow: 16}, onDone)
+			transport.Config{InitWindow: 16, Obs: bus}, onDone)
 		f.Sender.StartAt(time.Duration(i%2048) * time.Microsecond)
 		launched = append(launched, f)
 	}
@@ -359,7 +363,139 @@ func runFatTreeShardedOnce(b *testing.B, k, shards int, mode sim.ParMode, steal 
 			BufferBytes:  units.Packets(250),
 		},
 	}, shards)
-	driveFatTreeFlows(b, ft, coord)
+	driveFatTreeFlows(b, ft, coord, nil)
+}
+
+// --- Trace overhead ------------------------------------------------------
+
+// BenchmarkFatTreeTraced is the roadmap's lossless-tracing gate: the
+// same k=8 fat-tree workload as BenchmarkFatTree, untraced vs fully
+// traced (every switch tier and every transport on one bus, the ring
+// spilling to a real file as it fills). Compare the traced rows against
+// untraced for the overhead; the binary target is <15%. Zero ring
+// truncation is asserted, so the spill file is the complete event
+// stream of the run.
+func BenchmarkFatTreeTraced(b *testing.B) {
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runFatTreeOnce(b)
+		}
+	})
+	for _, format := range []obs.TraceFormat{obs.FormatBinary, obs.FormatJSONL} {
+		b.Run(format.String()+"-spill", func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				events = runFatTreeTracedOnce(b, format)
+			}
+			b.ReportMetric(float64(events), "events/op")
+		})
+	}
+}
+
+// runFatTreeTracedOnce runs the fat-tree workload with full tracing
+// into a spill file and returns the number of events recorded.
+func runFatTreeTracedOnce(b *testing.B, format obs.TraceFormat) uint64 {
+	b.Helper()
+	eng := sim.NewEngine()
+	ft := topo.NewFatTree(eng, topo.FatTreeConfig{
+		K: 8,
+		Ports: topo.PortProfile{
+			Weights:     topo.EqualWeights(8),
+			NewSched:    topo.DWRRFactory(eng),
+			NewMarker:   func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+			BufferBytes: units.Packets(250),
+		},
+	})
+	f, err := os.Create(filepath.Join(b.TempDir(), "trace."+format.String()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	sw := obs.NewSpillWriter(f, format)
+	// One writer chunk of events (640KB): stays L2-resident between
+	// spill flushes, and each flush hands the codec exactly one full
+	// chunk with no staging copy. Far smaller than the ~1.4M-event
+	// stream, so the spill path is exercised hundreds of times per run.
+	// Trace-only bus, matching `pmsbsim -tracefile` without -metrics.
+	bus := obs.NewTraceBus(8192)
+	bus.Ring().SetSpill(sw)
+	for _, tier := range [][]*netsim.Switch{ft.Edges, ft.Aggs, ft.Cores} {
+		for _, s := range tier {
+			s.Observe(bus)
+		}
+	}
+	driveFatTreeFlows(b, ft, nil, bus)
+	if err := bus.Ring().FlushSpill(); err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if d := bus.Ring().Dropped(); d != 0 {
+		b.Fatalf("ring truncated %d events despite spill", d)
+	}
+	if bus.Ring().Total() == 0 {
+		b.Fatal("traced run recorded nothing")
+	}
+	return bus.Ring().Total()
+}
+
+// benchTraceEvents synthesizes a realistic event mix (the per-packet
+// enqueue/dequeue/mark cycle with occupancy) for the encoder
+// micro-benchmarks.
+func benchTraceEvents(n int) []obs.Event {
+	events := make([]obs.Event, n)
+	for i := range events {
+		ev := obs.Event{
+			Seq:  uint64(i),
+			T:    time.Duration(i) * 800,
+			Node: pkt.NodeID(1 + i%80), Port: int32(i % 8), Queue: int32(i % 4),
+			Pkt: uint64(i), Size: units.MTU,
+			PortBytes: int64((i % 50) * units.MTU), QueueBytes: int64((i % 13) * units.MTU),
+		}
+		switch i % 16 {
+		case 3:
+			ev.Kind = obs.KindMark
+		case 7:
+			ev.Kind = obs.KindDequeue
+		default:
+			ev.Kind = obs.KindEnqueue
+		}
+		events[i] = ev
+	}
+	return events
+}
+
+// BenchmarkTraceEncodeJSONL / ...Binary measure the per-event export
+// cost of the two codecs on the same 64k-event stream. The binary
+// codec's columnar encode is the reason traced runs stay near the
+// untraced wall clock.
+func BenchmarkTraceEncodeJSONL(b *testing.B) {
+	events := benchTraceEvents(1 << 16)
+	r := obs.NewRing(len(events))
+	for _, ev := range events {
+		r.Append(ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WriteJSONL(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceEncodeBinary(b *testing.B) {
+	events := benchTraceEvents(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obs.WriteBinary(io.Discard, events); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkEngineChurn measures raw scheduler cost under a pending-set

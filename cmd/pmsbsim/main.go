@@ -24,10 +24,15 @@
 // order. Only the wall times in the summary block vary.
 //
 // -tracefile and -metrics enable the observability layer: the run's
-// event trace is exported as JSONL (one event per line, analyzable with
-// pmsbstat) and the metrics registry as a name<TAB>value dump. The bus
-// is unsynchronized, so tracing requires a single experiment and forces
-// -jobs 1 / -repeats 1.
+// event trace is exported as JSONL or the compact binary format
+// (-traceformat, defaulting by file extension; both analyzable with
+// pmsbstat) and the metrics registry as a name<TAB>value dump. The
+// trace ring spills into the file as it fills, so the export is the
+// complete event stream at any -tracebuf. A bus is unsynchronized, so
+// tracing requires a single experiment with -repeats 1; sharded runs
+// are supported by giving every shard its own bus and spill file
+// (trace.shard0.bin, trace.shard1.bin, ...) that pmsbstat merges
+// deterministically.
 package main
 
 import (
@@ -71,9 +76,10 @@ func run(args []string, stdout io.Writer) error {
 		summary   = fs.Bool("summary", true, "append the run manifest as a trailing '# summary' block (tsv only)")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
 		memprof   = fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
-		tracefile = fs.String("tracefile", "", "export the observability event trace as JSONL to this file (single experiment only; forces -jobs 1)")
-		tracebuf  = fs.Int("tracebuf", 1<<20, "trace ring capacity in events; the ring keeps the newest events")
-		metrics   = fs.String("metrics", "", "write the metrics registry dump to this file (single experiment only; forces -jobs 1)")
+		tracefile = fs.String("tracefile", "", "export the observability event trace to this file (single experiment only; forces -jobs 1; with -shards N, per-shard spill files name.shardI.ext)")
+		traceform = fs.String("traceformat", "", "trace encoding: jsonl or bin (default: bin when -tracefile ends in .bin, else jsonl)")
+		tracebuf  = fs.Int("tracebuf", 1<<20, "trace ring capacity in events; full rings spill to -tracefile, so the trace is lossless at any value")
+		metrics   = fs.String("metrics", "", "write the metrics registry dump to this file (single experiment only; forces -jobs 1 and -shards 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -160,34 +166,39 @@ func run(args []string, stdout io.Writer) error {
 		Shards: *shards, Par: parMode, Steal: steal,
 	}
 	tracing := *tracefile != "" || *metrics != ""
+	var trace *traceSession
 	if tracing {
-		// The bus is not synchronized: restrict tracing to one serially
-		// run experiment so every emit comes from a single goroutine.
+		// A bus is not synchronized: restrict tracing to one experiment
+		// so every bus is fed by one goroutine. Sharded runs are fine —
+		// each shard gets its own bus and spill file, and the window
+		// protocol's happens-before edges keep each bus
+		// single-threaded.
 		if len(specs) != 1 {
 			return fmt.Errorf("-tracefile/-metrics require exactly one experiment (got %d)", len(specs))
 		}
 		if *repeats > 1 {
 			return fmt.Errorf("-tracefile/-metrics require -repeats 1 (got %d)", *repeats)
 		}
-		if *shards > 1 {
-			return fmt.Errorf("-tracefile/-metrics require -shards 1 (got %d)", *shards)
+		if *metrics != "" && *shards > 1 {
+			// Each shard bus has its own registry; a merged dump is not
+			// defined yet.
+			return fmt.Errorf("-metrics requires -shards 1 (got %d)", *shards)
 		}
-		*jobs = 1
-		ringCap := *tracebuf
-		if ringCap < 1 {
-			ringCap = 1
+		*jobs = *shards // exactly the workers the one sharded run needs
+		var err error
+		trace, err = openTraceSession(*tracefile, *traceform, *tracebuf, *shards, *metrics != "")
+		if err != nil {
+			return err
 		}
-		if *tracefile == "" {
-			ringCap = 0 // metrics only: skip the event ring entirely
-		}
-		opt.Obs = obs.NewBus(ringCap)
+		defer trace.cleanup()
+		trace.apply(&opt)
 	}
 	// On failure results hold the completed prefix (everything before
 	// the earliest failing experiment), which is still printed — the
 	// same partial output a serial run would have produced.
 	results, manifest, runErr := experiment.RunMany(specs, opt, *jobs)
 	if tracing && runErr == nil {
-		if err := writeTrace(opt.Obs, *tracefile, *metrics); err != nil {
+		if err := trace.finish(*metrics); err != nil {
 			return err
 		}
 	}
@@ -213,20 +224,95 @@ func run(args []string, stdout io.Writer) error {
 	return runErr
 }
 
-// writeTrace exports the bus: the event ring as JSONL and/or the
-// metrics registry as a tab-separated dump.
-func writeTrace(bus *obs.Bus, tracefile, metrics string) error {
-	if tracefile != "" {
-		f, err := os.Create(tracefile)
+// traceSession owns the tracing plumbing of one run: one bus per shard,
+// each with a ring that spills into its own trace file as it fills, so
+// the exported trace is the complete event stream regardless of
+// -tracebuf. finish drains the rings and closes the files; cleanup
+// releases file handles if the run failed before finish.
+type traceSession struct {
+	buses  []*obs.Bus
+	spills []*obs.SpillWriter
+	files  []*os.File
+	paths  []string
+	done   bool
+}
+
+// openTraceSession creates the trace files and spill-backed buses.
+// With shards > 1 each shard spills to tracefile's ShardTracePath
+// derivative; a metrics-only session (tracefile == "") carries one
+// ringless bus. When no metrics dump was requested the buses are
+// trace-only (obs.NewTraceBus): nothing will read the per-port
+// counters, so packet events skip them.
+func openTraceSession(tracefile, formatFlag string, tracebuf, shards int, wantMetrics bool) (*traceSession, error) {
+	s := &traceSession{}
+	if tracefile == "" {
+		s.buses = []*obs.Bus{obs.NewBus(0)} // metrics only: no event ring
+		return s, nil
+	}
+	format := obs.FormatForPath(tracefile)
+	if formatFlag != "" {
+		var err error
+		if format, err = obs.ParseTraceFormat(formatFlag); err != nil {
+			return nil, err
+		}
+	}
+	ringCap := tracebuf
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	paths := []string{tracefile}
+	if shards > 1 {
+		paths = nil
+		for i := 0; i < shards; i++ {
+			paths = append(paths, obs.ShardTracePath(tracefile, i))
+		}
+	}
+	for _, path := range paths {
+		f, err := os.Create(path)
 		if err != nil {
-			return fmt.Errorf("create trace file: %w", err)
+			s.cleanup()
+			return nil, fmt.Errorf("create trace file: %w", err)
 		}
-		if err := bus.Ring().WriteJSONL(f); err != nil {
-			f.Close()
-			return fmt.Errorf("write trace: %w", err)
+		sw := obs.NewSpillWriter(f, format)
+		bus := obs.NewTraceBus(ringCap)
+		if wantMetrics {
+			bus = obs.NewBus(ringCap)
 		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("close trace file: %w", err)
+		bus.Ring().SetSpill(sw)
+		s.buses = append(s.buses, bus)
+		s.spills = append(s.spills, sw)
+		s.files = append(s.files, f)
+		s.paths = append(s.paths, path)
+	}
+	return s, nil
+}
+
+// apply attaches the session's buses to the run options: the shard-0
+// bus is the serial/fallback bus, and a sharded session also publishes
+// the full per-shard list.
+func (s *traceSession) apply(opt *experiment.Options) {
+	opt.Obs = s.buses[0]
+	if len(s.buses) > 1 {
+		opt.ObsShards = s.buses
+	}
+}
+
+// finish drains every ring into its spill file, closes the files, and
+// writes the metrics dump. After finish, cleanup is a no-op.
+func (s *traceSession) finish(metrics string) error {
+	s.done = true
+	for i, bus := range s.buses {
+		if bus.Ring() == nil {
+			continue
+		}
+		if err := bus.Ring().FlushSpill(); err != nil {
+			return fmt.Errorf("write trace %s: %w", s.paths[i], err)
+		}
+		if err := s.spills[i].Close(); err != nil {
+			return fmt.Errorf("write trace %s: %w", s.paths[i], err)
+		}
+		if err := s.files[i].Close(); err != nil {
+			return fmt.Errorf("close trace file %s: %w", s.paths[i], err)
 		}
 	}
 	if metrics != "" {
@@ -234,7 +320,7 @@ func writeTrace(bus *obs.Bus, tracefile, metrics string) error {
 		if err != nil {
 			return fmt.Errorf("create metrics file: %w", err)
 		}
-		if _, err := bus.Metrics().WriteTo(f); err != nil {
+		if _, err := s.buses[0].Metrics().WriteTo(f); err != nil {
 			f.Close()
 			return fmt.Errorf("write metrics: %w", err)
 		}
@@ -243,6 +329,18 @@ func writeTrace(bus *obs.Bus, tracefile, metrics string) error {
 		}
 	}
 	return nil
+}
+
+// cleanup closes any file handles a failed run left open. The partial
+// trace files are left on disk for postmortems.
+func (s *traceSession) cleanup() {
+	if s.done {
+		return
+	}
+	s.done = true
+	for _, f := range s.files {
+		f.Close()
+	}
 }
 
 // writeJSON emits one bare object for a single requested experiment

@@ -285,7 +285,8 @@ func TestTraceExport(t *testing.T) {
 }
 
 // TestTraceRestrictions: tracing an unsynchronized bus must refuse
-// multi-experiment and multi-repeat invocations.
+// multi-experiment and multi-repeat invocations; the metrics registry
+// is still per-bus, so -metrics refuses sharded runs.
 func TestTraceRestrictions(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "t.jsonl")
 	if _, err := capture(t, "-experiment", "table1,fig5", "-quick", "-tracefile", trace); err == nil {
@@ -293,5 +294,122 @@ func TestTraceRestrictions(t *testing.T) {
 	}
 	if _, err := capture(t, "-experiment", "fig8", "-quick", "-repeats", "3", "-tracefile", trace); err == nil {
 		t.Error("tracing with -repeats > 1 must fail")
+	}
+	if _, err := capture(t, "-experiment", "fct-dwrr", "-quick", "-shards", "2",
+		"-metrics", filepath.Join(t.TempDir(), "m")); err == nil {
+		t.Error("-metrics with -shards > 1 must fail")
+	}
+	if _, err := capture(t, "-experiment", "fig8", "-quick",
+		"-tracefile", trace, "-traceformat", "xml"); err == nil {
+		t.Error("unknown -traceformat must fail")
+	}
+}
+
+// TestTraceBinaryExport: a .bin trace path defaults to the binary
+// format and parses back with the auto-detecting reader.
+func TestTraceBinaryExport(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "fig8.bin")
+	if _, err := capture(t, "-experiment", "fig8", "-quick", "-tracefile", trace); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("PMSBTRC1")) {
+		t.Fatalf(".bin trace does not start with the binary magic: %q", raw[:8])
+	}
+	events, err := obs.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	// The same run forced to JSONL via -traceformat must decode to the
+	// identical event sequence (codec differential at the CLI level).
+	jtrace := filepath.Join(t.TempDir(), "fig8.bin")
+	if _, err := capture(t, "-experiment", "fig8", "-quick",
+		"-tracefile", jtrace, "-traceformat", "jsonl"); err != nil {
+		t.Fatalf("JSONL traced run: %v", err)
+	}
+	jf, err := os.Open(jtrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	jevents, err := obs.ReadTrace(jf)
+	if err != nil {
+		t.Fatalf("parse JSONL trace: %v", err)
+	}
+	if len(jevents) != len(events) {
+		t.Fatalf("binary trace has %d events, JSONL %d", len(events), len(jevents))
+	}
+	for i := range events {
+		if events[i] != jevents[i] {
+			t.Fatalf("event %d differs between formats:\n bin %+v\njsonl %+v",
+				i, events[i], jevents[i])
+		}
+	}
+}
+
+// TestTraceSpillLossless: the exported trace must be identical at any
+// -tracebuf, because a full ring spills instead of overwriting.
+func TestTraceSpillLossless(t *testing.T) {
+	dir := t.TempDir()
+	small := filepath.Join(dir, "small.bin")
+	big := filepath.Join(dir, "big.bin")
+	if _, err := capture(t, "-experiment", "fig8", "-quick",
+		"-tracefile", small, "-tracebuf", "64"); err != nil {
+		t.Fatalf("small-ring run: %v", err)
+	}
+	if _, err := capture(t, "-experiment", "fig8", "-quick",
+		"-tracefile", big, "-tracebuf", "1048576"); err != nil {
+		t.Fatalf("big-ring run: %v", err)
+	}
+	a, err := os.ReadFile(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace depends on ring size: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestTraceShardedExport: -shards 2 writes one spill file per shard;
+// both parse, and together they hold switch and flow events.
+func TestTraceShardedExport(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "fct.bin")
+	if _, err := capture(t, "-experiment", "fct-dwrr", "-quick", "-seed", "3",
+		"-shards", "2", "-tracefile", trace); err != nil {
+		t.Fatalf("sharded traced run: %v", err)
+	}
+	var streams [][]obs.Event
+	for i := 0; i < 2; i++ {
+		path := obs.ShardTracePath(trace, i)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("shard %d trace missing: %v", i, err)
+		}
+		events, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("parse shard %d trace: %v", i, err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("shard %d trace is empty", i)
+		}
+		streams = append(streams, events)
+	}
+	merged := obs.MergeEvents(streams...)
+	kinds := obs.CountKinds(merged)
+	for _, k := range []obs.Kind{obs.KindEnqueue, obs.KindDequeue, obs.KindFlowStart, obs.KindFlowFinish} {
+		if kinds[k] == 0 {
+			t.Errorf("merged sharded trace has no %v events", k)
+		}
 	}
 }

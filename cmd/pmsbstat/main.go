@@ -1,4 +1,4 @@
-// Command pmsbstat analyzes a JSONL event trace exported by
+// Command pmsbstat analyzes an event trace exported by
 // pmsbsim -tracefile, reconstructing the quantities the paper plots
 // without rerunning the simulation:
 //
@@ -7,16 +7,24 @@
 //   - the mark-rate timeline (marks and dequeues per time bin),
 //   - the top flows by bytes with their congestion telemetry.
 //
+// The trace format (JSONL or binary) is auto-detected per file from
+// its leading bytes, so no flag is needed when switching formats.
+// Several files — e.g. the per-shard spill files of a sharded traced
+// run — are merged into one deterministic timeline by (time, argument
+// order, sequence number) before analysis.
+//
 // Examples:
 //
 //	pmsbsim -experiment fig8 -quick -tracefile fig8.jsonl
 //	pmsbstat fig8.jsonl                    # full report
 //	pmsbstat -bin 500us fig8.jsonl         # finer mark-rate bins
 //	pmsbstat -top 3 -depth=false fig8.jsonl
+//	pmsbsim -experiment fct-dwrr -quick -shards 2 -tracefile fct.bin
+//	pmsbstat fct.shard0.bin fct.shard1.bin # merged sharded trace
 //
 // Because trace events carry absolute occupancy, every statistic here
 // is exact over the trace window even when the ring buffer wrapped and
-// only the newest events survived.
+// only the newest events survived (spill-backed traces never wrap).
 package main
 
 import (
@@ -47,7 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		counts = fs.Bool("counts", true, "print event counts by kind")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: pmsbstat [flags] trace.jsonl")
+		fmt.Fprintln(fs.Output(), "usage: pmsbstat [flags] trace[.jsonl|.bin] [more traces...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -56,26 +64,47 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return err
 	}
-	if fs.NArg() != 1 {
+	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("exactly one trace file is required (got %d args)", fs.NArg())
+		return fmt.Errorf("at least one trace file is required")
 	}
 
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return fmt.Errorf("open trace: %w", err)
+	// Each file's format is auto-detected; several files (per-shard
+	// spill traces) merge into one deterministic timeline.
+	streams := make([][]obs.Event, 0, fs.NArg())
+	total := 0
+	for _, path := range fs.Args() {
+		stream, err := readTrace(path)
+		if err != nil {
+			return err
+		}
+		streams = append(streams, stream)
+		total += len(stream)
 	}
-	defer f.Close()
-	events, err := obs.ReadJSONL(f)
-	if err != nil {
-		return fmt.Errorf("read trace: %w", err)
-	}
-	if len(events) == 0 {
+	if total == 0 {
 		return fmt.Errorf("trace %s holds no events", fs.Arg(0))
+	}
+	events := streams[0]
+	if len(streams) > 1 {
+		events = obs.MergeEvents(streams...)
 	}
 
 	report(stdout, events, *bin, *top, *depth, *marks, *counts)
 	return nil
+}
+
+// readTrace loads one trace file in either format.
+func readTrace(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("read trace %s: %w", path, err)
+	}
+	return events, nil
 }
 
 // report prints the selected sections. Everything derives from the

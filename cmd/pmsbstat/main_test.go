@@ -106,4 +106,92 @@ func TestBadInput(t *testing.T) {
 	if _, err := capture(t, empty); err == nil {
 		t.Error("empty trace must fail")
 	}
+	garbage := filepath.Join(t.TempDir(), "garbage.bin")
+	if err := os.WriteFile(garbage, []byte{0x00, 0x01, 0x02, 0x03}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, garbage)
+	if err == nil {
+		t.Error("unrecognized format must fail")
+	} else if !strings.Contains(err.Error(), "unrecognized trace format") {
+		t.Errorf("garbage input error should name the format problem, got: %v\n%s", err, out)
+	}
+}
+
+// TestBinaryReport: the same report from a binary trace, format
+// auto-detected with no flag.
+func TestBinaryReport(t *testing.T) {
+	jsonlPath := writeTrace(t)
+	f, err := os.Open(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(t.TempDir(), "trace.bin")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteBinary(bf, events); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	jout, err := capture(t, jsonlPath)
+	if err != nil {
+		t.Fatalf("pmsbstat jsonl: %v", err)
+	}
+	bout, err := capture(t, binPath)
+	if err != nil {
+		t.Fatalf("pmsbstat bin: %v", err)
+	}
+	if jout != bout {
+		t.Errorf("report differs between formats:\njsonl:\n%s\nbin:\n%s", jout, bout)
+	}
+}
+
+// TestMergedShardReport: several trace files merge into one timeline;
+// the event count is the sum and the merged report parses every file's
+// events.
+func TestMergedShardReport(t *testing.T) {
+	// Two single-bus traces with disjoint ports (as two shards would
+	// produce).
+	dir := t.TempDir()
+	var paths []string
+	for shard := 0; shard < 2; shard++ {
+		bus := obs.NewBus(64)
+		probe := bus.ObservePort(obs.PortID{Node: pkt.NodeID(1000 + shard), Port: 0}, 1)
+		p := &pkt.Packet{Flow: pkt.FlowID(shard + 1), ID: 1, Size: 1500}
+		for i := 0; i < 5; i++ {
+			at := time.Duration(i)*time.Millisecond + time.Duration(shard)*time.Microsecond
+			probe.Enqueue(at, 0, p, 1500, 1500)
+			probe.Dequeue(at+time.Millisecond/2, 0, p, 0, 0)
+		}
+		path := obs.ShardTracePath(filepath.Join(dir, "t.bin"), shard)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteBinary(f, bus.Ring().Events()); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, path)
+	}
+	out, err := capture(t, paths...)
+	if err != nil {
+		t.Fatalf("pmsbstat merged: %v", err)
+	}
+	if !strings.Contains(out, "# trace: 20 events") {
+		t.Errorf("merged trace should hold 20 events:\n%s", out)
+	}
+	for _, node := range []string{"1000\t0\t0\t", "1001\t0\t0\t"} {
+		if !strings.Contains(out, node) {
+			t.Errorf("merged depth table missing node row %q:\n%s", node, out)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package pmsb_test
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -386,8 +387,22 @@ func TestDifferentialShardedDeterminism(t *testing.T) {
 func runShardedFatTree(t *testing.T, shards int, v parVariant,
 	specs [][3]int, until time.Duration) workloadResult {
 	t.Helper()
+	podBus := make([]*obs.Bus, 8)
+	for p := range podBus {
+		podBus[p] = obs.NewBus(1 << 14)
+	}
+	res := driveShardedFatTree(t, shards, v, specs, until, podBus)
+	res.trace = multiBusTrace(t, podBus)
+	return res
+}
+
+// driveShardedFatTree is the workload core of runShardedFatTree with
+// the observability buses supplied by the caller (one per pod), so
+// spill-backed and plain-ring runs share the exact same simulation.
+func driveShardedFatTree(t *testing.T, shards int, v parVariant,
+	specs [][3]int, until time.Duration, podBus []*obs.Bus) workloadResult {
+	t.Helper()
 	const k = 8
-	pods := k
 	hostsPerPod := (k / 2) * (k / 2) // 16
 	cfg := topo.FatTreeConfig{
 		K: k,
@@ -418,13 +433,9 @@ func runShardedFatTree(t *testing.T, shards int, v parVariant,
 		ft, _ = topo.NewFatTreeSharded(coord, cfg, shards)
 	}
 
-	podBus := make([]*obs.Bus, pods)
-	for p := range podBus {
-		podBus[p] = obs.NewBus(1 << 14)
-	}
 	// Fingerprint switch-level order in two pods (first and last): their
 	// edge and agg switches are pod-local on every partition.
-	for _, p := range []int{0, pods - 1} {
+	for _, p := range []int{0, len(podBus) - 1} {
 		half := k / 2
 		ft.Edges[p*half].Observe(podBus[p])
 		ft.Aggs[p*half].Observe(podBus[p])
@@ -453,7 +464,6 @@ func runShardedFatTree(t *testing.T, shards int, v parVariant,
 		}
 		res.fcts = append(res.fcts, f.Sender.FCT())
 	}
-	res.trace = multiBusTrace(t, podBus)
 	return res
 }
 
@@ -515,6 +525,132 @@ func TestDifferentialShardedFatTreeIncast(t *testing.T) {
 		runShardedFatTree(t, 8, parVariants[2], specs, until))
 	assertIdenticalRuns(t, "incast serial-vs-channel@8", serial,
 		runShardedFatTree(t, 8, parVariants[1], specs, until))
+}
+
+// Spill-merge gate: a sharded fat-tree run whose per-pod buses spill
+// tiny rings into binary sinks must reproduce, stream for stream and
+// event for event, a serial run that retained everything in memory —
+// and the time-ordered merge of the spilled streams must equal the
+// merge of the serial streams. This is the tentpole's lossless claim:
+// spilling changes where events live, never what was recorded.
+func TestDifferentialShardedSpillMerge(t *testing.T) {
+	specs := fatTreeCrossPodSpecs()
+	const until = 50 * time.Millisecond
+	const pods = 8
+
+	// Serial reference: rings big enough to retain the full run.
+	ref := make([]*obs.Bus, pods)
+	for p := range ref {
+		ref[p] = obs.NewBus(1 << 18)
+	}
+	driveShardedFatTree(t, 0, parVariant{}, specs, until, ref)
+	refStreams := make([][]obs.Event, pods)
+	for p, bus := range ref {
+		if d := bus.Ring().Dropped(); d != 0 {
+			t.Fatalf("serial reference pod %d overflowed its ring (%d dropped); grow the reference ring", p, d)
+		}
+		refStreams[p] = bus.Ring().Events()
+	}
+	refMerged := obs.MergeEvents(refStreams...)
+	if len(refMerged) == 0 {
+		t.Fatal("empty reference trace: the workload recorded nothing")
+	}
+
+	for _, run := range []struct {
+		name   string
+		shards int
+		v      parVariant
+	}{
+		{"channel@4", 4, parVariants[1]},
+		{"channel-steal@8", 8, parVariants[2]},
+	} {
+		// Spill-backed buses: 256-event rings force hundreds of flushes
+		// per pod, so chunk framing is exercised across many batch
+		// shapes. Trace-only buses match `pmsbsim -tracefile`.
+		buses := make([]*obs.Bus, pods)
+		sinks := make([]*bytes.Buffer, pods)
+		spills := make([]*obs.SpillWriter, pods)
+		for p := range buses {
+			sinks[p] = &bytes.Buffer{}
+			spills[p] = obs.NewSpillWriter(sinks[p], obs.FormatBinary)
+			buses[p] = obs.NewTraceBus(256)
+			buses[p].Ring().SetSpill(spills[p])
+		}
+		driveShardedFatTree(t, run.shards, run.v, specs, until, buses)
+		streams := make([][]obs.Event, pods)
+		for p := range buses {
+			if err := buses[p].Ring().FlushSpill(); err != nil {
+				t.Fatalf("%s pod %d: flush spill: %v", run.name, p, err)
+			}
+			if err := spills[p].Close(); err != nil {
+				t.Fatalf("%s pod %d: close spill: %v", run.name, p, err)
+			}
+			if d := buses[p].Ring().Dropped(); d != 0 {
+				t.Fatalf("%s pod %d: %d events dropped despite spill", run.name, p, d)
+			}
+			got, err := obs.ReadBinary(bytes.NewReader(sinks[p].Bytes()))
+			if err != nil {
+				t.Fatalf("%s pod %d: read spilled trace: %v", run.name, p, err)
+			}
+			if !reflect.DeepEqual(got, refStreams[p]) {
+				t.Errorf("%s pod %d: spilled stream diverges from serial reference (%d vs %d events)",
+					run.name, p, len(got), len(refStreams[p]))
+			}
+			streams[p] = got
+		}
+		if merged := obs.MergeEvents(streams...); !reflect.DeepEqual(merged, refMerged) {
+			t.Errorf("%s: merged spill trace diverges from merged serial trace (%d vs %d events)",
+				run.name, len(merged), len(refMerged))
+		}
+	}
+}
+
+// Format gate: a real workload's JSONL trace survives the round trip
+// through the binary codec with every field intact, and re-encoding
+// the decoded events reproduces the original bytes exactly — in both
+// directions.
+func TestDifferentialTraceFormats(t *testing.T) {
+	res := runDumbbellWorkload(t, sim.QueueCalendar)
+	events, err := obs.ReadJSONL(bytes.NewReader(res.trace))
+	if err != nil {
+		t.Fatalf("parse workload JSONL trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty workload trace")
+	}
+
+	var bin bytes.Buffer
+	if err := obs.WriteBinary(&bin, events); err != nil {
+		t.Fatalf("encode binary: %v", err)
+	}
+	decoded, err := obs.ReadBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("decode binary: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, events) {
+		t.Fatalf("binary round trip changed the events (%d vs %d)", len(decoded), len(events))
+	}
+
+	// Decoded events, re-encoded as JSONL through a ring, must equal
+	// the original byte stream; re-encoding the binary must too.
+	ring := obs.NewRing(len(decoded))
+	for _, ev := range decoded {
+		ring.Append(ev)
+	}
+	var jsonl bytes.Buffer
+	if err := ring.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonl.Bytes(), res.trace) {
+		t.Error("JSONL re-encode of binary-decoded events differs from the original trace")
+	}
+	var bin2 bytes.Buffer
+	if err := obs.WriteBinary(&bin2, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bin2.Bytes(), bin.Bytes()) {
+		t.Error("binary re-encode is not byte-stable")
+	}
 }
 
 func TestDifferentialDumbbellWorkload(t *testing.T) {

@@ -49,6 +49,18 @@ type Options struct {
 	// not synchronized: use it only with serial runs (RunMany jobs=1,
 	// Repeats=1).
 	Obs *obs.Bus
+	// ObsShards, when non-nil, traces a sharded run: entry i is the bus
+	// for shard i, and experiments that honor Shards attach each
+	// switch/transport to the bus of the shard its node lives on. One
+	// bus is fed by exactly one shard engine, which keeps every bus
+	// single-goroutine (windows hand engines between workers with
+	// happens-before edges, so no two workers touch a shard — or its
+	// bus — concurrently) and makes each bus's event stream
+	// byte-identical to the same split traced serially. Entry 0 doubles
+	// as the fallback bus when a run ends up serial (e.g. Shards
+	// clamped to 1); Obs is the fallback when ObsShards is shorter than
+	// the shard count.
+	ObsShards []*obs.Bus
 
 	// pool, set by RunMany, lets the repeat loops of randomized sweeps
 	// borrow idle workers for per-seed fan-out (see eachRepeat).
@@ -56,6 +68,20 @@ type Options struct {
 	// events, set by RunMany, accumulates processed engine events for
 	// the run manifest.
 	events *atomic.Int64
+}
+
+// obsFor returns the bus for a shard index: ObsShards[shard] when
+// present, otherwise Obs. obsFor(0) is the serial-run bus.
+func (o Options) obsFor(shard int) *obs.Bus {
+	if shard >= 0 && shard < len(o.ObsShards) {
+		return o.ObsShards[shard]
+	}
+	return o.Obs
+}
+
+// tracing reports whether any observability bus is attached.
+func (o Options) tracing() bool {
+	return o.Obs != nil || len(o.ObsShards) > 0
 }
 
 // observeEngine credits a finished engine's processed-event count to

@@ -7,6 +7,8 @@ import (
 
 	"pmsb/internal/core"
 	"pmsb/internal/ecn"
+	"pmsb/internal/obs"
+	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
 	"pmsb/internal/stats"
 	"pmsb/internal/topo"
@@ -124,6 +126,7 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 		ls    *topo.LeafSpine
 		eng   *sim.Engine
 		coord *sim.Coordinator
+		part  *topo.Partition
 	)
 	if shards > 1 {
 		coord = sim.NewCoordinator()
@@ -137,7 +140,7 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 		default:
 			panic(fmt.Sprintf("experiment: unknown scheduler %q", schedName))
 		}
-		ls, _ = topo.NewLeafSpineSharded(coord, lsCfg, shards)
+		ls, part = topo.NewLeafSpineSharded(coord, lsCfg, shards)
 	} else {
 		eng = sim.NewEngine()
 		switch schedName {
@@ -149,6 +152,28 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 			panic(fmt.Sprintf("experiment: unknown scheduler %q", schedName))
 		}
 		ls = topo.NewLeafSpine(eng, lsCfg)
+	}
+
+	// Tracing: attach every switch and transport to the bus of the
+	// shard its node lives on (the serial fallback is one bus for
+	// everything). Each bus is then fed by exactly one shard engine, so
+	// per-bus event streams are byte-identical to a serial run with the
+	// same bus split — the property the spill-merge path relies on.
+	busForNode := func(id pkt.NodeID) *obs.Bus {
+		if part != nil {
+			if s, ok := part.ShardOf(id); ok {
+				return opt.obsFor(s)
+			}
+		}
+		return opt.obsFor(0)
+	}
+	if opt.tracing() {
+		for _, sw := range ls.Leaves {
+			sw.Observe(busForNode(sw.NodeID()))
+		}
+		for _, sw := range ls.Spines {
+			sw.Observe(busForNode(sw.NodeID()))
+		}
 	}
 
 	specs := workload.Poisson(workload.PoissonConfig{
@@ -170,6 +195,11 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 		cfg := transport.Config{InitWindow: fctInitWindow}
 		if sc.filter != nil {
 			cfg.Filter = sc.filter()
+		}
+		if opt.tracing() {
+			// A sender emits on its source host's engine; bind it to
+			// that shard's bus.
+			cfg.Obs = busForNode(ls.Host(spec.Src).NodeID())
 		}
 		f := transport.NewFlow(ls.Eng, ls.Host(spec.Src), ls.Host(spec.Dst), id,
 			spec.Service, spec.Size, cfg, func(s *transport.Sender) {

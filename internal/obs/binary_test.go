@@ -1,0 +1,462 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pmsb/internal/pkt"
+)
+
+// traceFixture is a representative event mix: every kind, negative
+// identity fields (NoNode/-1), zero-heavy flow events, float payloads,
+// and non-monotonic inter-bus timestamps do not appear (a single bus is
+// time-ordered) but large T gaps do.
+func traceFixture() []Event {
+	return []Event{
+		{Seq: 0, T: 0, Kind: KindFlowStart, Node: pkt.NoNode, Port: -1, Queue: -1,
+			Flow: 7, Size: 1 << 20},
+		{Seq: 1, T: 1500 * time.Nanosecond, Kind: KindEnqueue, Node: 3, Port: 2,
+			Queue: 1, Flow: 7, Pkt: 42, Size: 1500, PortBytes: 3000, QueueBytes: 1500},
+		{Seq: 2, T: 1500 * time.Nanosecond, Kind: KindMark, Node: 3, Port: 2,
+			Queue: 1, Pkt: 42, PortBytes: 3000, QueueBytes: 1500},
+		{Seq: 3, T: 2 * time.Microsecond, Kind: KindBlind, Node: pkt.NoNode, Port: -1,
+			Queue: 5, PortBytes: 90000, QueueBytes: 200, V: 512.5},
+		{Seq: 4, T: 2 * time.Microsecond, Kind: KindDrop, Node: 9, Port: 0,
+			Queue: 3, Pkt: 43, Size: 9000, Reason: DropSharedBuffer},
+		{Seq: 5, T: 3 * time.Millisecond, Kind: KindPFCPause, Node: 4, Port: -1,
+			Queue: -1, PortBytes: 65536},
+		{Seq: 6, T: 3*time.Millisecond + 1, Kind: KindCwndCut, Node: pkt.NoNode,
+			Port: -1, Queue: -1, Flow: 7, V: 8},
+		{Seq: 7, T: time.Second, Kind: KindFlowFinish, Node: pkt.NoNode, Port: -1,
+			Queue: -1, Flow: 7, V: 1.0004e9},
+	}
+}
+
+func TestBinaryTraceRoundTrip(t *testing.T) {
+	want := traceFixture()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, want); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	// The issue's size target: ~32-48 B/record ceiling; the columnar
+	// codec should land well under it on a representative mix.
+	if perEv := buf.Len() / len(want); perEv > 48 {
+		t.Errorf("binary encoding %d B/event, want <= 48", perEv)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestBinaryTraceJSONLDifferential is the codec-level differential:
+// the same events through both codecs decode identically, and
+// converting binary->JSONL->binary is byte-identical.
+func TestBinaryTraceJSONLDifferential(t *testing.T) {
+	events := traceFixture()
+	r := NewRing(len(events))
+	for _, ev := range events {
+		r.Append(ev)
+	}
+
+	var jsonl, bin bytes.Buffer
+	if err := r.WriteJSONL(&jsonl); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if err := r.WriteBinary(&bin); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	fromJSONL, err := ReadJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	fromBin, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(fromJSONL, fromBin) {
+		t.Fatalf("codec differential mismatch:\n jsonl %+v\n   bin %+v", fromJSONL, fromBin)
+	}
+
+	// Convert both ways; re-encoding the decoded events must be
+	// byte-identical in each format (the codecs are canonical).
+	var bin2 bytes.Buffer
+	if err := WriteBinary(&bin2, fromJSONL); err != nil {
+		t.Fatalf("WriteBinary(decoded JSONL): %v", err)
+	}
+	if !bytes.Equal(bin.Bytes(), bin2.Bytes()) {
+		t.Error("jsonl->binary conversion not byte-identical to direct binary encoding")
+	}
+	r2 := NewRing(len(fromBin))
+	for _, ev := range fromBin {
+		r2.Append(ev)
+	}
+	var jsonl2 bytes.Buffer
+	if err := r2.WriteJSONL(&jsonl2); err != nil {
+		t.Fatalf("WriteJSONL(decoded binary): %v", err)
+	}
+	if !bytes.Equal(jsonl.Bytes(), jsonl2.Bytes()) {
+		t.Error("binary->jsonl conversion not byte-identical to direct JSONL encoding")
+	}
+}
+
+// TestBinaryTraceZeroFields: an event whose optional fields are all
+// zero encodes an empty bitmap (its whole record is the four mandatory
+// columns — delta, delta, kind, bitmap — at one byte each) and decodes
+// back to the zero values.
+func TestBinaryTraceZeroFields(t *testing.T) {
+	want := []Event{{Seq: 0, T: 0, Kind: KindRTO}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, want); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if wantLen := len(binaryMagic) + 1 + 4; buf.Len() != wantLen {
+		t.Errorf("zero-field record = %d bytes, want %d (magic + count + 4 one-byte columns)",
+			buf.Len(), wantLen)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+// TestBinaryTraceMaxDeltas: extreme Seq/T jumps (up to the full 64-bit
+// range, including backwards T between merged streams) survive the
+// delta coding via two's-complement wraparound.
+func TestBinaryTraceMaxDeltas(t *testing.T) {
+	want := []Event{
+		{Seq: 0, T: math.MaxInt64, Kind: KindEnqueue},
+		{Seq: math.MaxUint64, T: math.MinInt64, Kind: KindDequeue},
+		{Seq: 1, T: 0, Kind: KindRate, V: math.MaxFloat64},
+		{Seq: 2, T: -1, Kind: KindAlpha, V: math.SmallestNonzeroFloat64,
+			Size: math.MinInt64, PortBytes: math.MaxInt64, QueueBytes: math.MinInt64,
+			Flow: math.MaxUint64, Pkt: math.MaxUint64},
+		{Seq: 3, T: 1, Kind: KindRetransmit, Node: math.MinInt32, Port: math.MaxInt32,
+			Queue: math.MinInt32},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, want); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v,\nwant %+v", got, want)
+	}
+}
+
+// TestBinaryTraceChunkBoundaries: streams spanning several writer
+// chunks keep the running deltas intact, including when fed through
+// multiple Write calls of awkward sizes.
+func TestBinaryTraceChunkBoundaries(t *testing.T) {
+	const n = writerChunkEvents*2 + 37
+	want := make([]Event, n)
+	for i := range want {
+		want[i] = Event{Seq: uint64(i), T: time.Duration(i) * 17,
+			Kind: Kind(1 + i%(int(numKinds)-1)), Node: pkt.NodeID(i % 5), Port: int32(i % 3)}
+	}
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	// Deliberately misaligned batches.
+	for off := 0; off < n; {
+		end := off + writerChunkEvents - 13
+		if end > n {
+			end = n
+		}
+		if err := bw.Write(want[off:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		off = end
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("multi-chunk round trip mismatch")
+	}
+}
+
+func TestBinaryTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatalf("WriteBinary(nil): %v", err)
+	}
+	if buf.String() != binaryMagic {
+		t.Fatalf("empty trace = %q, want bare magic", buf.String())
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary(empty): %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace decoded %d events", len(got))
+	}
+}
+
+func TestBinaryTraceCorruptMagic(t *testing.T) {
+	for _, in := range []string{"", "PMSB", "PMSBTRC0", "XXXXXXXX", "{\"seq\":0}"} {
+		if _, err := ReadBinary(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadBinary(%q): no error", in)
+		}
+	}
+}
+
+// TestBinaryTraceTruncated: every proper prefix of a valid trace either
+// decodes cleanly (chunks are self-contained) or errors — never panics,
+// never fabricates events.
+func TestBinaryTraceTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, traceFixture()); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		events, err := ReadBinary(bytes.NewReader(full[:cut]))
+		if err == nil && cut < len(full) && len(events) != 0 {
+			// A prefix that drops bytes of the single chunk must error;
+			// only the bare magic (cut == len(magic)) decodes as empty.
+			t.Fatalf("cut %d: decoded %d events without error", cut, len(events))
+		}
+	}
+	// Corrupt chunk headers: count 0 and count > maxChunkEvents.
+	for _, bad := range [][]byte{
+		append([]byte(binaryMagic), 0x00),
+		append([]byte(binaryMagic), 0x81, 0x80, 0x04), // 1<<16 + 1
+	} {
+		if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+			t.Error("corrupt chunk count accepted")
+		}
+	}
+	// Unknown kind: count=1, seq delta 0, t delta 0, kind 0xEE.
+	bad := append([]byte(binaryMagic), 0x01, 0x00, 0x00, 0xEE)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "kind") {
+		t.Errorf("unknown kind: err = %v", err)
+	}
+	// Stray bitmap bits: valid kind, bitmap with bit 10 set.
+	bad = append([]byte(binaryMagic), 0x01, 0x00, 0x00, 0x01, 0x80, 0x08)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "bitmap") {
+		t.Errorf("stray bitmap bits: err = %v", err)
+	}
+}
+
+// TestBinaryTraceAutoDetect: ReadJSONL and ReadTrace both accept either
+// format, and ReadTrace rejects unrecognized input with a format error.
+func TestBinaryTraceAutoDetect(t *testing.T) {
+	events := traceFixture()
+	r := NewRing(len(events))
+	for _, ev := range events {
+		r.Append(ev)
+	}
+	var jsonl, bin bytes.Buffer
+	if err := r.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	for name, raw := range map[string][]byte{"jsonl": jsonl.Bytes(), "bin": bin.Bytes()} {
+		for fn, read := range map[string]func(io.Reader) ([]Event, error){
+			"ReadJSONL": ReadJSONL, "ReadTrace": ReadTrace,
+		} {
+			got, err := read(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("%s(%s): %v", fn, name, err)
+			}
+			if !reflect.DeepEqual(got, events) {
+				t.Fatalf("%s(%s): decoded events differ", fn, name)
+			}
+		}
+	}
+	// Empty input: zero events, no error, in both entry points.
+	for fn, read := range map[string]func(io.Reader) ([]Event, error){
+		"ReadJSONL": ReadJSONL, "ReadTrace": ReadTrace,
+	} {
+		got, err := read(strings.NewReader(""))
+		if err != nil || len(got) != 0 {
+			t.Fatalf("%s(empty) = %d events, %v", fn, len(got), err)
+		}
+	}
+	// Unrecognized input names both formats in the error.
+	_, err := ReadTrace(strings.NewReader("\x00\x01\x02 garbage"))
+	if err == nil || !strings.Contains(err.Error(), "unrecognized trace format") {
+		t.Fatalf("ReadTrace(garbage): err = %v", err)
+	}
+}
+
+// TestBinaryTraceSpillLossless: a ring far smaller than the stream,
+// with a spill sink attached, loses nothing — spilled + retained is the
+// exact input sequence, and Dropped() stays 0.
+func TestBinaryTraceSpillLossless(t *testing.T) {
+	for _, format := range []TraceFormat{FormatBinary, FormatJSONL} {
+		t.Run(format.String(), func(t *testing.T) {
+			const ringCap, n = 64, 1000
+			var file bytes.Buffer
+			sw := NewSpillWriter(&file, format)
+			r := NewRing(ringCap)
+			r.SetSpill(sw)
+			for i := 0; i < n; i++ {
+				r.Append(Event{Seq: uint64(i), T: time.Duration(i * 3), Kind: KindEnqueue,
+					Node: 1, Port: int32(i % 4), PortBytes: int64(i)})
+			}
+			if r.Dropped() != 0 {
+				t.Fatalf("Dropped() = %d with spill attached", r.Dropped())
+			}
+			if err := r.FlushSpill(); err != nil {
+				t.Fatalf("FlushSpill: %v", err)
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if sw.Spilled() != n {
+				t.Fatalf("Spilled() = %d, want %d", sw.Spilled(), n)
+			}
+			got, err := ReadTrace(&file)
+			if err != nil {
+				t.Fatalf("ReadTrace: %v", err)
+			}
+			if len(got) != n {
+				t.Fatalf("spill file holds %d events, want %d", len(got), n)
+			}
+			for i := range got {
+				if got[i].Seq != uint64(i) {
+					t.Fatalf("event %d: Seq = %d", i, got[i].Seq)
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryTraceSpillOverwriteUnchanged: without a sink the ring keeps
+// its historical overwrite-oldest behavior bit for bit.
+func TestBinaryTraceSpillOverwriteUnchanged(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Seq: uint64(i), Kind: KindEnqueue})
+	}
+	if r.Total() != 10 || r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("Total/Len/Dropped = %d/%d/%d, want 10/4/6",
+			r.Total(), r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Seq != uint64(6+i) {
+			t.Fatalf("retained[%d].Seq = %d, want %d", i, ev.Seq, 6+i)
+		}
+	}
+	if err := r.FlushSpill(); err == nil {
+		t.Fatal("FlushSpill with stranded events and no sink: no error")
+	}
+	// SetSpill after Append must panic: the semantics switch is only
+	// legal on an empty ring.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetSpill after Append did not panic")
+		}
+	}()
+	r.SetSpill(NewSpillWriter(io.Discard, FormatBinary))
+}
+
+// TestBinaryTraceMerge: MergeEvents interleaves per-bus streams by
+// (T, stream, Seq) and is deterministic.
+func TestBinaryTraceMerge(t *testing.T) {
+	a := []Event{{Seq: 0, T: 1, Kind: KindEnqueue, Node: 1},
+		{Seq: 1, T: 5, Kind: KindDequeue, Node: 1}}
+	b := []Event{{Seq: 0, T: 1, Kind: KindEnqueue, Node: 2},
+		{Seq: 1, T: 3, Kind: KindDequeue, Node: 2}}
+	got := MergeEvents(a, b)
+	wantNodes := []pkt.NodeID{1, 2, 2, 1}
+	if len(got) != 4 {
+		t.Fatalf("merged %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if ev.Node != wantNodes[i] {
+			t.Fatalf("merge order: got node %d at %d, want %d", ev.Node, i, wantNodes[i])
+		}
+	}
+	if len(MergeEvents()) != 0 || len(MergeEvents(nil, nil)) != 0 {
+		t.Fatal("merging no/empty streams should yield no events")
+	}
+}
+
+func TestBinaryTraceFormatHelpers(t *testing.T) {
+	if f := FormatForPath("trace.bin"); f != FormatBinary {
+		t.Errorf("FormatForPath(.bin) = %v", f)
+	}
+	if f := FormatForPath("trace.jsonl"); f != FormatJSONL {
+		t.Errorf("FormatForPath(.jsonl) = %v", f)
+	}
+	if got := ShardTracePath("runs/trace.bin", 3); got != "runs/trace.shard3.bin" {
+		t.Errorf("ShardTracePath = %q", got)
+	}
+	if got := ShardTracePath("trace", 0); got != "trace.shard0" {
+		t.Errorf("ShardTracePath(no ext) = %q", got)
+	}
+	if _, err := ParseTraceFormat("xml"); err == nil {
+		t.Error("ParseTraceFormat(xml): no error")
+	}
+	for _, s := range []string{"jsonl", "bin"} {
+		f, err := ParseTraceFormat(s)
+		if err != nil || f.String() != s {
+			t.Errorf("ParseTraceFormat(%q) = %v, %v", s, f, err)
+		}
+	}
+}
+
+// FuzzReadBinary: the decoder must never panic or over-allocate on
+// arbitrary input — errors only.
+func FuzzReadBinary(f *testing.F) {
+	// Seed corpus: valid traces of increasing complexity plus targeted
+	// corruptions, so the fuzzer starts at the format's interesting
+	// surfaces rather than rediscovering the magic.
+	var empty bytes.Buffer
+	_ = WriteBinary(&empty, nil)
+	f.Add(empty.Bytes())
+	var one bytes.Buffer
+	_ = WriteBinary(&one, []Event{{Seq: 0, T: 1, Kind: KindEnqueue, Node: 1, Size: 1500}})
+	f.Add(one.Bytes())
+	var full bytes.Buffer
+	_ = WriteBinary(&full, traceFixture())
+	f.Add(full.Bytes())
+	f.Add(full.Bytes()[:len(full.Bytes())-3])
+	f.Add([]byte("PMSBTRC0"))
+	f.Add(append([]byte(binaryMagic), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Add(append([]byte(binaryMagic), 0x01, 0x00, 0x00, 0xEE))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same thing.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, events); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("re-decode: %d events, want %d", len(again), len(events))
+		}
+	})
+}

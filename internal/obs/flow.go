@@ -111,7 +111,7 @@ func (b *Bus) OpenFlow(t time.Duration, f pkt.FlowID, service int, size int64) *
 	rec.Size = size
 	rec.Start = t
 	b.reg.flowsStarted.Inc()
-	b.record(Event{T: t, Kind: KindFlowStart, Node: pkt.NoNode, Port: -1,
+	b.record(&Event{T: t, Kind: KindFlowStart, Node: pkt.NoNode, Port: -1,
 		Queue: int32(service), Flow: f, Size: size})
 	return &FlowProbe{bus: b, rec: rec}
 }
@@ -136,7 +136,7 @@ func (p *FlowProbe) CwndCut(t time.Duration, cwnd float64) {
 		return
 	}
 	p.rec.CwndCuts++
-	p.bus.record(Event{T: t, Kind: KindCwndCut, Node: pkt.NoNode, Port: -1,
+	p.bus.record(&Event{T: t, Kind: KindCwndCut, Node: pkt.NoNode, Port: -1,
 		Queue: -1, Flow: p.rec.Flow, V: cwnd})
 }
 
@@ -151,7 +151,7 @@ func (p *FlowProbe) Alpha(t time.Duration, alpha float64, bytes int64) {
 	if bytes > p.rec.Bytes {
 		p.rec.Bytes = bytes
 	}
-	p.bus.record(Event{T: t, Kind: KindAlpha, Node: pkt.NoNode, Port: -1,
+	p.bus.record(&Event{T: t, Kind: KindAlpha, Node: pkt.NoNode, Port: -1,
 		Queue: -1, Flow: p.rec.Flow, Size: bytes, V: alpha})
 }
 
@@ -161,7 +161,7 @@ func (p *FlowProbe) Retransmit(t time.Duration, seq int64) {
 		return
 	}
 	p.rec.Retransmits++
-	p.bus.record(Event{T: t, Kind: KindRetransmit, Node: pkt.NoNode, Port: -1,
+	p.bus.record(&Event{T: t, Kind: KindRetransmit, Node: pkt.NoNode, Port: -1,
 		Queue: -1, Flow: p.rec.Flow, Pkt: uint64(seq)})
 }
 
@@ -171,7 +171,7 @@ func (p *FlowProbe) RTO(t time.Duration) {
 		return
 	}
 	p.rec.RTOs++
-	p.bus.record(Event{T: t, Kind: KindRTO, Node: pkt.NoNode, Port: -1,
+	p.bus.record(&Event{T: t, Kind: KindRTO, Node: pkt.NoNode, Port: -1,
 		Queue: -1, Flow: p.rec.Flow})
 }
 
@@ -180,7 +180,7 @@ func (p *FlowProbe) Rate(t time.Duration, rate float64) {
 	if p == nil {
 		return
 	}
-	p.bus.record(Event{T: t, Kind: KindRate, Node: pkt.NoNode, Port: -1,
+	p.bus.record(&Event{T: t, Kind: KindRate, Node: pkt.NoNode, Port: -1,
 		Queue: -1, Flow: p.rec.Flow, V: rate})
 }
 
@@ -196,6 +196,6 @@ func (p *FlowProbe) Finish(t time.Duration, fct time.Duration, bytes int64) {
 	p.rec.Bytes = bytes
 	p.bus.reg.flowsFinished.Inc()
 	p.bus.reg.fct.ObserveDuration(fct)
-	p.bus.record(Event{T: t, Kind: KindFlowFinish, Node: pkt.NoNode, Port: -1,
+	p.bus.record(&Event{T: t, Kind: KindFlowFinish, Node: pkt.NoNode, Port: -1,
 		Queue: -1, Flow: p.rec.Flow, Size: bytes, V: float64(fct)})
 }

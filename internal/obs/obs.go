@@ -224,6 +224,7 @@ type Bus struct {
 	reg   *Registry
 	flows *FlowTable
 	seq   uint64
+	lean  bool
 }
 
 // NewBus returns a bus with a metrics registry, a flow table and — when
@@ -234,6 +235,18 @@ func NewBus(ringCap int) *Bus {
 	if ringCap > 0 {
 		b.ring = NewRing(ringCap)
 	}
+	return b
+}
+
+// NewTraceBus returns a bus tuned for full-run event capture: the ring
+// and flow table are live, but ObservePort skips the per-port counter
+// blocks, so packet events pay only the ring append. Use it when the
+// trace file is the product and nothing will read Metrics() — the
+// registry stays present (bus-level counters like PFC pauses still
+// land) but has no per-port rows.
+func NewTraceBus(ringCap int) *Bus {
+	b := NewBus(ringCap)
+	b.lean = true
 	return b
 }
 
@@ -262,14 +275,31 @@ func (b *Bus) Flows() *FlowTable {
 }
 
 // record stamps the next sequence number and appends to the ring, when
-// one exists. The Event travels by value end to end.
-func (b *Bus) record(ev Event) {
+// one exists. Emitters build the Event on their stack and pass a
+// pointer; the ring slot assignment is the only full-struct copy. The
+// per-packet probes use slot instead — record stays for the low-rate
+// emit points where a struct literal reads better.
+func (b *Bus) record(ev *Event) {
 	if b.ring == nil {
 		return
 	}
 	ev.Seq = b.seq
 	b.seq++
-	b.ring.Append(ev)
+	*b.ring.nextSlot() = *ev
+}
+
+// slot claims the next ring slot pre-stamped with sequence number,
+// time and kind, or returns nil when recording is disabled. The caller
+// fills the remaining fields in place — the event is built where it
+// will live and is never copied. The hot emit path.
+func (b *Bus) slot(t time.Duration, k Kind) *Event {
+	if b.ring == nil {
+		return nil
+	}
+	ev := b.ring.nextSlot()
+	*ev = Event{Seq: b.seq, T: t, Kind: k}
+	b.seq++
+	return ev
 }
 
 // PFCPause records a PFC controller crossing Xoff on the given node.
@@ -278,7 +308,7 @@ func (b *Bus) PFCPause(t time.Duration, node pkt.NodeID, buffered int) {
 		return
 	}
 	b.reg.pfcPauses.Add(1)
-	b.record(Event{T: t, Kind: KindPFCPause, Node: node, Port: -1, Queue: -1,
+	b.record(&Event{T: t, Kind: KindPFCPause, Node: node, Port: -1, Queue: -1,
 		PortBytes: int64(buffered)})
 }
 
@@ -287,7 +317,7 @@ func (b *Bus) PFCResume(t time.Duration, node pkt.NodeID, buffered int) {
 	if b == nil {
 		return
 	}
-	b.record(Event{T: t, Kind: KindPFCResume, Node: node, Port: -1, Queue: -1,
+	b.record(&Event{T: t, Kind: KindPFCResume, Node: node, Port: -1, Queue: -1,
 		PortBytes: int64(buffered)})
 }
 
@@ -300,7 +330,7 @@ func (b *Bus) Blind(t time.Duration, q int, portBytes, queueBytes int, threshold
 		return
 	}
 	b.reg.blinds.Add(1)
-	b.record(Event{T: t, Kind: KindBlind, Node: pkt.NoNode, Port: -1,
+	b.record(&Event{T: t, Kind: KindBlind, Node: pkt.NoNode, Port: -1,
 		Queue: int32(q), PortBytes: int64(portBytes), QueueBytes: int64(queueBytes),
 		V: threshold})
 }

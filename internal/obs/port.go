@@ -21,12 +21,18 @@ type PortProbe struct {
 
 // ObservePort registers a port with the bus and returns its probe.
 // numQueues sizes the per-queue counter blocks. Returns nil on a nil
-// bus so callers can assign unconditionally.
+// bus so callers can assign unconditionally. On a trace-only bus
+// (NewTraceBus) the probe carries no counter block and packet events
+// skip the metrics updates entirely.
 func (b *Bus) ObservePort(id PortID, numQueues int) *PortProbe {
 	if b == nil {
 		return nil
 	}
-	return &PortProbe{bus: b, id: id, m: b.reg.portMetrics(id, numQueues)}
+	p := &PortProbe{bus: b, id: id}
+	if !b.lean {
+		p.m = b.reg.portMetrics(id, numQueues)
+	}
+	return p
 }
 
 // ID returns the probe's port identity.
@@ -38,9 +44,11 @@ func (p *PortProbe) Enqueue(t time.Duration, q int, packet *pkt.Packet, portByte
 	if p == nil {
 		return
 	}
-	p.bus.record(Event{T: t, Kind: KindEnqueue, Node: p.id.Node, Port: p.id.Port,
-		Queue: int32(q), Flow: packet.Flow, Pkt: packet.ID, Size: int64(packet.Size),
-		PortBytes: int64(portBytes), QueueBytes: int64(queueBytes)})
+	if ev := p.bus.slot(t, KindEnqueue); ev != nil {
+		ev.Node, ev.Port, ev.Queue = p.id.Node, p.id.Port, int32(q)
+		ev.Flow, ev.Pkt, ev.Size = packet.Flow, packet.ID, int64(packet.Size)
+		ev.PortBytes, ev.QueueBytes = int64(portBytes), int64(queueBytes)
+	}
 }
 
 // Dequeue records a packet beginning transmission from queue q;
@@ -49,14 +57,18 @@ func (p *PortProbe) Dequeue(t time.Duration, q int, packet *pkt.Packet, portByte
 	if p == nil {
 		return
 	}
-	p.m.TxPackets.Inc()
-	p.m.TxBytes.Add(int64(packet.Size))
-	if q >= 0 && q < len(p.m.QueueTxBytes) {
-		p.m.QueueTxBytes[q].Add(int64(packet.Size))
+	if m := p.m; m != nil {
+		m.TxPackets.Inc()
+		m.TxBytes.Add(int64(packet.Size))
+		if q >= 0 && q < len(m.QueueTxBytes) {
+			m.QueueTxBytes[q].Add(int64(packet.Size))
+		}
 	}
-	p.bus.record(Event{T: t, Kind: KindDequeue, Node: p.id.Node, Port: p.id.Port,
-		Queue: int32(q), Flow: packet.Flow, Pkt: packet.ID, Size: int64(packet.Size),
-		PortBytes: int64(portBytes), QueueBytes: int64(queueBytes)})
+	if ev := p.bus.slot(t, KindDequeue); ev != nil {
+		ev.Node, ev.Port, ev.Queue = p.id.Node, p.id.Port, int32(q)
+		ev.Flow, ev.Pkt, ev.Size = packet.Flow, packet.ID, int64(packet.Size)
+		ev.PortBytes, ev.QueueBytes = int64(portBytes), int64(queueBytes)
+	}
 }
 
 // Drop records a packet refused at admission by the given gate.
@@ -64,11 +76,15 @@ func (p *PortProbe) Drop(t time.Duration, q int, packet *pkt.Packet, reason Drop
 	if p == nil {
 		return
 	}
-	p.m.DropPackets.Inc()
-	p.m.DropBytes.Add(int64(packet.Size))
-	p.bus.record(Event{T: t, Kind: KindDrop, Node: p.id.Node, Port: p.id.Port,
-		Queue: int32(q), Flow: packet.Flow, Pkt: packet.ID, Size: int64(packet.Size),
-		Reason: reason})
+	if m := p.m; m != nil {
+		m.DropPackets.Inc()
+		m.DropBytes.Add(int64(packet.Size))
+	}
+	if ev := p.bus.slot(t, KindDrop); ev != nil {
+		ev.Node, ev.Port, ev.Queue = p.id.Node, p.id.Port, int32(q)
+		ev.Flow, ev.Pkt, ev.Size = packet.Flow, packet.ID, int64(packet.Size)
+		ev.Reason = reason
+	}
 }
 
 // Mark records the port's marker CE-marking a packet bound for (or
@@ -78,11 +94,15 @@ func (p *PortProbe) Mark(t time.Duration, q int, packet *pkt.Packet, portBytes, 
 	if p == nil {
 		return
 	}
-	p.m.Marks.Inc()
-	if q >= 0 && q < len(p.m.QueueMarks) {
-		p.m.QueueMarks[q].Inc()
+	if m := p.m; m != nil {
+		m.Marks.Inc()
+		if q >= 0 && q < len(m.QueueMarks) {
+			m.QueueMarks[q].Inc()
+		}
 	}
-	p.bus.record(Event{T: t, Kind: KindMark, Node: p.id.Node, Port: p.id.Port,
-		Queue: int32(q), Flow: packet.Flow, Pkt: packet.ID, Size: int64(packet.Size),
-		PortBytes: int64(portBytes), QueueBytes: int64(queueBytes)})
+	if ev := p.bus.slot(t, KindMark); ev != nil {
+		ev.Node, ev.Port, ev.Queue = p.id.Node, p.id.Port, int32(q)
+		ev.Flow, ev.Pkt, ev.Size = packet.Flow, packet.ID, int64(packet.Size)
+		ev.PortBytes, ev.QueueBytes = int64(portBytes), int64(queueBytes)
+	}
 }

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the spill path: instead of overwriting its oldest events
+// when full, a Ring with a SpillWriter attached flushes its retained
+// contents (oldest first) into the writer and keeps going — a bounded
+// ring becomes a bounded *buffer* in front of an unbounded stream, and
+// a full-length run is traced losslessly. Spill files are per-ring;
+// under sharded execution each shard's bus spills to its own file and
+// MergeEvents reassembles the deterministic interleaving at read time.
+
+// traceBufSize is the bufio buffer for trace file I/O (both spill
+// writers and readers). Big enough that a spill flush of a few thousand
+// events issues a handful of write syscalls, not hundreds.
+const traceBufSize = 256 * 1024
+
+// TraceFormat selects the on-disk encoding of an event trace.
+type TraceFormat uint8
+
+const (
+	// FormatJSONL: one JSON object per line (ring.go). Self-describing
+	// and greppable; ~200 bytes/event.
+	FormatJSONL TraceFormat = iota
+	// FormatBinary: the chunked columnar codec (binary.go). Opaque but
+	// ~10-20 bytes/event and an order of magnitude cheaper to encode.
+	FormatBinary
+)
+
+// String implements fmt.Stringer with the -traceformat flag spelling.
+func (f TraceFormat) String() string {
+	if f == FormatBinary {
+		return "bin"
+	}
+	return "jsonl"
+}
+
+// ParseTraceFormat parses a -traceformat flag value.
+func ParseTraceFormat(s string) (TraceFormat, error) {
+	switch s {
+	case "jsonl":
+		return FormatJSONL, nil
+	case "bin":
+		return FormatBinary, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown trace format %q (want jsonl or bin)", s)
+	}
+}
+
+// FormatForPath picks the default trace format for an output path:
+// binary for ".bin", JSONL for everything else (including the
+// historical ".jsonl").
+func FormatForPath(path string) TraceFormat {
+	if strings.EqualFold(filepath.Ext(path), ".bin") {
+		return FormatBinary
+	}
+	return FormatJSONL
+}
+
+// ShardTracePath derives the per-shard spill file name for a requested
+// trace path: "trace.bin" -> "trace.shard3.bin". The shard index is
+// embedded before the extension so the format-by-extension default
+// still applies to the derived names.
+func ShardTracePath(path string, shard int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.shard%d%s", strings.TrimSuffix(path, ext), shard, ext)
+}
+
+// SpillWriter is the streaming sink a Ring flushes into when full. It
+// owns the buffering (one bufio.Writer over the destination) and the
+// encoding (JSONL or binary); Close flushes everything down to the
+// destination writer but does not close it (the caller owns the file).
+//
+// Like the Ring it serves, a SpillWriter is single-goroutine.
+type SpillWriter struct {
+	bw      *bufio.Writer
+	enc     *json.Encoder // JSONL mode
+	bin     *BinaryWriter // binary mode
+	format  TraceFormat
+	spilled uint64
+}
+
+// NewSpillWriter returns a spill sink encoding events to w in the given
+// format.
+func NewSpillWriter(w io.Writer, format TraceFormat) *SpillWriter {
+	s := &SpillWriter{bw: bufio.NewWriterSize(w, traceBufSize), format: format}
+	if format == FormatBinary {
+		s.bin = NewBinaryWriter(s.bw)
+	} else {
+		s.enc = json.NewEncoder(s.bw)
+	}
+	return s
+}
+
+// Format returns the sink's encoding.
+func (s *SpillWriter) Format() TraceFormat { return s.format }
+
+// Spilled returns the number of events written so far.
+func (s *SpillWriter) Spilled() uint64 { return s.spilled }
+
+// Spill encodes a batch of events, oldest first.
+func (s *SpillWriter) Spill(events []Event) error {
+	if s.bin != nil {
+		if err := s.bin.Write(events); err != nil {
+			return err
+		}
+		s.spilled += uint64(len(events))
+		return nil
+	}
+	for i := range events {
+		if err := s.enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("obs: spill trace event: %w", err)
+		}
+		s.spilled++
+	}
+	return nil
+}
+
+// Close flushes buffered data to the destination writer. The spill file
+// is incomplete until Close returns nil. Close does not close the
+// underlying writer.
+func (s *SpillWriter) Close() error {
+	if s.bin != nil {
+		if err := s.bin.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("obs: flush spill: %w", err)
+	}
+	return nil
+}
+
+// MergeEvents interleaves per-shard (per-bus) event streams into one
+// deterministic total order: by time, then by stream index, then by the
+// per-bus sequence number. Each input stream must itself be
+// time-ordered (a single bus's trace always is — Seq order is emission
+// order and virtual time never goes backwards within one engine).
+//
+// The PDES determinism contract (DESIGN.md section 8) makes each shard's
+// per-bus stream byte-identical to the same bus's stream in a serial
+// run, so merging the spill files of an N-shard run with MergeEvents
+// equals merging the N buses of a serial run: the sharded trace is the
+// serial trace.
+func MergeEvents(streams ...[]Event) []Event {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Event, 0, total)
+	// idx tracks the merge frontier of each stream.
+	idx := make([]int, len(streams))
+	for len(out) < total {
+		best := -1
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			// Strict < keeps the lowest stream index on a time tie
+			// (streams are scanned in index order), and within one
+			// stream Seq order is preserved by the frontier walk.
+			if streams[i][idx[i]].T < streams[best][idx[best]].T {
+				best = i
+			}
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// SortEvents orders events by (T, Seq) in place — the canonical order
+// for a merged single-stream view when stream identity is not
+// meaningful (e.g. pmsbstat over several independent files).
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].T != events[j].T {
+			return events[i].T < events[j].T
+		}
+		return events[i].Seq < events[j].Seq
+	})
+}
+
+// ReadTrace parses a complete event trace from r, auto-detecting the
+// format from the leading bytes: the binary magic selects the binary
+// codec, anything else falls through to the JSONL parser (whose own
+// validation reports unrecognized input with a line number). An empty
+// stream is an empty trace in either format.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	br := bufio.NewReaderSize(r, traceBufSize)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	if bytes.Equal(head, []byte(binaryMagic)) {
+		return ReadBinary(br)
+	}
+	if len(head) == 0 {
+		return nil, nil
+	}
+	if !jsonlPlausible(head) {
+		return nil, fmt.Errorf("obs: unrecognized trace format (leading bytes %q: neither binary magic %q nor JSONL)",
+			head, binaryMagic)
+	}
+	return readJSONLFrom(br)
+}
+
+// jsonlPlausible reports whether a trace head could open a JSONL
+// stream: optional blank lines, then '{'. Used only to turn garbage
+// input into a one-line format error instead of a confusing JSON parse
+// error on binary-looking bytes.
+func jsonlPlausible(head []byte) bool {
+	for _, c := range head {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return true // all whitespace: let the scanner decide
+}
