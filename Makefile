@@ -17,6 +17,12 @@ ci:
 	$(GO) test -race ./...
 	$(GO) test -race -run TestJobsDeterminism -count=1 ./cmd/pmsbsim
 	-$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 10s ./internal/obs/
+	# Runtime-introspection smoke: a sharded run with live progress and a
+	# self-profile dump, rendered back through pmsbstat -runtime.
+	$(GO) run ./cmd/pmsbsim -experiment fattree-incast -quick -shards 4 -par channel-steal \
+		-progress=100ms -runtimestats ci_runtime.rtstats > /dev/null
+	$(GO) run ./cmd/pmsbstat -runtime ci_runtime.rtstats > /dev/null
+	@rm -f ci_runtime.rtstats
 
 build:
 	$(GO) build ./...
@@ -31,7 +37,7 @@ test-short:
 	$(GO) test -short ./...
 
 # Key hot-path benchmarks, recorded as JSON so the perf trajectory is
-# tracked from PR to PR (BENCH_1.json was the first point, BENCH_6.json
+# tracked from PR to PR (BENCH_1.json was the first point, BENCH_7.json
 # the current one; benchjson prints the delta against BENCH_BASE but
 # never fails the build — timings on shared machines are a trend line,
 # not a gate). Each benchmark runs BENCHCOUNT times and benchjson keeps
@@ -48,12 +54,18 @@ test-short:
 KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkFatTree16Sharded|BenchmarkFatTreeTraced|BenchmarkTraceEncodeJSONL|BenchmarkTraceEncodeBinary|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_6.json
-BENCH_BASE ?= BENCH_5.json
+BENCH_OUT ?= BENCH_7.json
+BENCH_BASE ?= BENCH_6.json
 
 bench:
 	$(GO) test -run '^$$' -bench "$(KEY_BENCHES)" -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASE)
+	# Fail-soft: record the sharded fat-tree's runtime self-profile next
+	# to the benchmark numbers, so perf regressions come with the
+	# coordinator's own accounting of where the time went.
+	-$(GO) run ./cmd/pmsbsim -experiment fattree -shards 4 -par channel-steal \
+		-runtimestats BENCH_7.rtstats > /dev/null && \
+		$(GO) run ./cmd/pmsbstat -runtime BENCH_7.rtstats
 
 # Every benchmark (one per paper table/figure plus engine micro-benches).
 bench-all:

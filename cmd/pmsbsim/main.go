@@ -45,9 +45,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"pmsb/internal/experiment"
 	"pmsb/internal/obs"
+	obsrt "pmsb/internal/obs/runtime"
+	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
 )
 
@@ -80,7 +83,10 @@ func run(args []string, stdout io.Writer) error {
 		traceform = fs.String("traceformat", "", "trace encoding: jsonl or bin (default: bin when -tracefile ends in .bin, else jsonl)")
 		tracebuf  = fs.Int("tracebuf", 1<<20, "trace ring capacity in events; full rings spill to -tracefile, so the trace is lossless at any value")
 		metrics   = fs.String("metrics", "", "write the metrics registry dump to this file (single experiment only; forces -jobs 1 and -shards 1)")
+		rtstats   = fs.String("runtimestats", "", "write the simulator's runtime self-profile (coordinator/scheduler/pool counters, name<TAB>value dump; read with pmsbstat -runtime) to this file (single experiment only)")
 	)
+	var progress progressFlag
+	fs.Var(&progress, "progress", "stream live progress as JSON lines on stderr; give an interval (-progress=250ms) or use the 1s default (single experiment only; results are unaffected)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			// -h/-help is a successful invocation: the FlagSet already
@@ -165,6 +171,34 @@ func run(args []string, stdout io.Writer) error {
 		Quick: *quick, Seed: *seed, Repeats: *repeats,
 		Shards: *shards, Par: parMode, Steal: steal,
 	}
+	// Runtime introspection (-progress, -runtimestats) observes a single
+	// simulation, so it carries the same one-experiment restriction as
+	// tracing. Neither changes a single simulated byte: the monitor is
+	// read-only published state and the runtime counters are side
+	// channels (differential-tested).
+	var stopSampler func()
+	if progress.set || *rtstats != "" {
+		if len(specs) != 1 {
+			return fmt.Errorf("-progress/-runtimestats require exactly one experiment (got %d)", len(specs))
+		}
+		if *repeats > 1 {
+			return fmt.Errorf("-progress/-runtimestats require -repeats 1 (got %d)", *repeats)
+		}
+		*jobs = *shards
+		if progress.set {
+			mon := sim.NewMonitor()
+			opt.Monitor = mon
+			sampler := obsrt.StartSampler(os.Stderr, mon, progress.interval)
+			stopSampler = sampler.Stop
+			defer sampler.Stop()
+		}
+		if *rtstats != "" {
+			pkt.EnablePoolStats(true)
+			defer pkt.EnablePoolStats(false)
+			opt.Runtime = obsrt.NewCollector()
+		}
+	}
+
 	tracing := *tracefile != "" || *metrics != ""
 	var trace *traceSession
 	if tracing {
@@ -197,8 +231,18 @@ func run(args []string, stdout io.Writer) error {
 	// the earliest failing experiment), which is still printed — the
 	// same partial output a serial run would have produced.
 	results, manifest, runErr := experiment.RunMany(specs, opt, *jobs)
+	if stopSampler != nil {
+		// Emit the final progress line at completion, before the result
+		// payload is printed.
+		stopSampler()
+	}
 	if tracing && runErr == nil {
 		if err := trace.finish(*metrics); err != nil {
+			return err
+		}
+	}
+	if *rtstats != "" && runErr == nil {
+		if err := writeRuntimeStats(*rtstats, opt.Runtime); err != nil {
 			return err
 		}
 	}
@@ -222,6 +266,61 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return runErr
+}
+
+// progressFlag is the -progress value: an optional-argument boolean
+// flag (bare -progress means a 1s interval, -progress=250ms overrides).
+type progressFlag struct {
+	set      bool
+	interval time.Duration
+}
+
+func (p *progressFlag) String() string {
+	if !p.set {
+		return ""
+	}
+	return p.interval.String()
+}
+
+func (p *progressFlag) IsBoolFlag() bool { return true }
+
+func (p *progressFlag) Set(s string) error {
+	p.set = true
+	switch s {
+	case "", "true":
+		p.interval = time.Second
+		return nil
+	case "false":
+		p.set = false
+		return nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("-progress wants a duration like 250ms: %w", err)
+	}
+	if d <= 0 {
+		return fmt.Errorf("-progress interval must be positive (got %v)", d)
+	}
+	p.interval = d
+	return nil
+}
+
+// writeRuntimeStats dumps the collected runtime self-profile as sorted
+// name<TAB>value lines (the metrics dump format; pmsbstat -runtime
+// turns it into a report).
+func writeRuntimeStats(path string, coll *obsrt.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create runtimestats file: %w", err)
+	}
+	if _, err := coll.Snapshot().WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write runtimestats: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close runtimestats file: %w", err)
+	}
+	return nil
 }
 
 // traceSession owns the tracing plumbing of one run: one bus per shard,
@@ -314,6 +413,13 @@ func (s *traceSession) finish(metrics string) error {
 		if err := s.files[i].Close(); err != nil {
 			return fmt.Errorf("close trace file %s: %w", s.paths[i], err)
 		}
+		// With a spill sink the ring never drops, so a nonzero count here
+		// means events were silently lost (e.g. a spill write failed
+		// mid-run); a truncated trace must fail the export, not pass as
+		// complete.
+		if n := bus.Ring().Dropped(); n > 0 {
+			return fmt.Errorf("trace %s truncated: %d events dropped", s.paths[i], n)
+		}
 	}
 	if metrics != "" {
 		f, err := os.Create(metrics)
@@ -332,12 +438,30 @@ func (s *traceSession) finish(metrics string) error {
 }
 
 // cleanup closes any file handles a failed run left open. The partial
-// trace files are left on disk for postmortems.
+// trace files are left on disk for postmortems; deferred spill errors
+// and dropped-event counts are surfaced on stderr so a failed run does
+// not hide a damaged trace.
 func (s *traceSession) cleanup() {
 	if s.done {
 		return
 	}
 	s.done = true
+	for i, bus := range s.buses {
+		r := bus.Ring()
+		if r == nil {
+			continue
+		}
+		path := "trace"
+		if i < len(s.paths) {
+			path = s.paths[i]
+		}
+		if err := r.SpillErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "pmsbsim: %s: deferred spill error: %v\n", path, err)
+		}
+		if n := r.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "pmsbsim: %s: %d trace events dropped\n", path, n)
+		}
+	}
 	for _, f := range s.files {
 		f.Close()
 	}

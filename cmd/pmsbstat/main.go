@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"pmsb/internal/obs"
+	obsrt "pmsb/internal/obs/runtime"
 )
 
 func main() {
@@ -48,14 +49,18 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pmsbstat", flag.ContinueOnError)
 	var (
-		bin    = fs.Duration("bin", time.Millisecond, "bin width of the mark-rate timeline")
-		top    = fs.Int("top", 10, "flows to list in the per-flow table (by bytes; 0 disables)")
-		depth  = fs.Bool("depth", true, "print per-queue occupancy percentiles")
-		marks  = fs.Bool("marks", true, "print the mark-rate timeline")
-		counts = fs.Bool("counts", true, "print event counts by kind")
+		bin     = fs.Duration("bin", time.Millisecond, "bin width of the mark-rate timeline")
+		top     = fs.Int("top", 10, "flows to list in the per-flow table (by bytes; 0 disables)")
+		depth   = fs.Bool("depth", true, "print per-queue occupancy percentiles")
+		marks   = fs.Bool("marks", true, "print the mark-rate timeline")
+		counts  = fs.Bool("counts", true, "print event counts by kind")
+		since   = fs.Duration("since", 0, "analyze only events at or after this virtual time (binary traces skip whole chunks before decoding)")
+		until   = fs.Duration("until", 0, "analyze only events at or before this virtual time (0 = end of trace)")
+		runtime = fs.Bool("runtime", false, "treat the argument as a pmsbsim -runtimestats dump and explain the run (shard imbalance, steal efficacy, null-advance overhead, queue churn)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: pmsbstat [flags] trace[.jsonl|.bin] [more traces...]")
+		fmt.Fprintln(fs.Output(), "       pmsbstat -runtime run.rtstats")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -68,13 +73,27 @@ func run(args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("at least one trace file is required")
 	}
+	if *runtime {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-runtime takes exactly one dump file (got %d)", fs.NArg())
+		}
+		return runtimeReport(stdout, fs.Arg(0))
+	}
+
+	lo, hi := *since, *until
+	if hi == 0 {
+		hi = 1<<63 - 1
+	}
+	if hi < lo {
+		return fmt.Errorf("-until %v precedes -since %v", *until, *since)
+	}
 
 	// Each file's format is auto-detected; several files (per-shard
 	// spill traces) merge into one deterministic timeline.
 	streams := make([][]obs.Event, 0, fs.NArg())
 	total := 0
 	for _, path := range fs.Args() {
-		stream, err := readTrace(path)
+		stream, err := readTrace(path, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -82,6 +101,9 @@ func run(args []string, stdout io.Writer) error {
 		total += len(stream)
 	}
 	if total == 0 {
+		if *since != 0 || *until != 0 {
+			return fmt.Errorf("trace %s holds no events in [%v, %v]", fs.Arg(0), lo, time.Duration(hi))
+		}
 		return fmt.Errorf("trace %s holds no events", fs.Arg(0))
 	}
 	events := streams[0]
@@ -93,18 +115,38 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// readTrace loads one trace file in either format.
-func readTrace(path string) ([]obs.Event, error) {
+// readTrace loads one trace file in either format, keeping only events
+// inside [since, until]. Binary traces skip whole out-of-range chunks
+// using the per-chunk time deltas before materializing any events.
+func readTrace(path string, since, until time.Duration) ([]obs.Event, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("open trace: %w", err)
 	}
 	defer f.Close()
-	events, err := obs.ReadTrace(f)
+	events, err := obs.ReadTraceRange(f, since, until)
 	if err != nil {
 		return nil, fmt.Errorf("read trace %s: %w", path, err)
 	}
 	return events, nil
+}
+
+// runtimeReport renders a pmsbsim -runtimestats dump as a human
+// explanation of the run.
+func runtimeReport(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open runtime dump: %w", err)
+	}
+	defer f.Close()
+	vals, err := obsrt.ParseDump(f)
+	if err != nil {
+		return fmt.Errorf("read runtime dump %s: %w", path, err)
+	}
+	if len(vals) == 0 {
+		return fmt.Errorf("runtime dump %s holds no metrics", path)
+	}
+	return obsrt.Report(w, vals)
 }
 
 // report prints the selected sections. Everything derives from the

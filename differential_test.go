@@ -399,8 +399,12 @@ func runShardedFatTree(t *testing.T, shards int, v parVariant,
 // driveShardedFatTree is the workload core of runShardedFatTree with
 // the observability buses supplied by the caller (one per pod), so
 // spill-backed and plain-ring runs share the exact same simulation.
+// Optional setup hooks run after construction, before RunUntil — the
+// runtime-introspection differential uses them to attach monitors and
+// enable stats (exactly one of coord/eng is non-nil).
 func driveShardedFatTree(t *testing.T, shards int, v parVariant,
-	specs [][3]int, until time.Duration, podBus []*obs.Bus) workloadResult {
+	specs [][3]int, until time.Duration, podBus []*obs.Bus,
+	setup ...func(coord *sim.Coordinator, eng *sim.Engine)) workloadResult {
 	t.Helper()
 	const k = 8
 	hostsPerPod := (k / 2) * (k / 2) // 16
@@ -449,6 +453,9 @@ func driveShardedFatTree(t *testing.T, shards int, v parVariant,
 			int64(size), transport.Config{InitWindow: 16, Obs: podBus[src/hostsPerPod]}, nil)
 		f.Sender.StartAt(time.Duration(i) * 4 * time.Microsecond)
 		flows = append(flows, f)
+	}
+	for _, fn := range setup {
+		fn(coord, eng)
 	}
 	var res workloadResult
 	if coord != nil {

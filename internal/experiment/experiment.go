@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"pmsb/internal/obs"
+	obsrt "pmsb/internal/obs/runtime"
 	"pmsb/internal/sim"
 )
 
@@ -62,6 +63,18 @@ type Options struct {
 	// the shard count.
 	ObsShards []*obs.Bus
 
+	// Monitor, when non-nil, is attached to the run's engine or
+	// coordinator so a progress sampler can stream live snapshots
+	// (pmsbsim -progress). Like Obs it assumes one simulation: use with
+	// a single experiment, Repeats=1.
+	Monitor *sim.Monitor
+	// Runtime, when non-nil, collects the simulator's self-observation:
+	// coordinator runtime stats (EnableRuntimeStats is switched on for
+	// the run), engine/scheduler self-profiles and pool counters
+	// (pmsbsim -runtimestats). The collector is goroutine-safe, but the
+	// dump is only meaningful for a single experiment.
+	Runtime *obsrt.Collector
+
 	// pool, set by RunMany, lets the repeat loops of randomized sweeps
 	// borrow idle workers for per-seed fan-out (see eachRepeat).
 	pool *workerPool
@@ -85,11 +98,48 @@ func (o Options) tracing() bool {
 }
 
 // observeEngine credits a finished engine's processed-event count to
-// the run manifest. A no-op outside RunMany. Safe to call from the
-// fan-out goroutines of eachRepeat.
+// the run manifest and folds its self-profile into the runtime
+// collector when one is attached. A no-op outside RunMany (unless
+// Runtime is set). Safe to call from the fan-out goroutines of
+// eachRepeat.
 func (o Options) observeEngine(eng *sim.Engine) {
 	if o.events != nil {
 		o.events.Add(int64(eng.Processed()))
+	}
+	if o.Runtime != nil {
+		o.Runtime.ObserveSerial(eng)
+	}
+}
+
+// observeCoordinator is observeEngine's sharded counterpart: it credits
+// every shard engine's events to the manifest and harvests the
+// coordinator's runtime stats into the collector.
+func (o Options) observeCoordinator(coord *sim.Coordinator) {
+	if o.events != nil {
+		o.events.Add(int64(coord.Processed()))
+	}
+	if o.Runtime != nil {
+		o.Runtime.ObserveCoordinator(coord)
+	}
+}
+
+// instrument attaches the monitor and enables runtime stats on a
+// coordinator about to run. Call between configuration and the first
+// RunUntil.
+func (o Options) instrument(coord *sim.Coordinator) {
+	if o.Monitor != nil {
+		coord.SetMonitor(o.Monitor)
+	}
+	if o.Runtime != nil {
+		coord.EnableRuntimeStats()
+	}
+}
+
+// instrumentEngine attaches the monitor to a serial engine about to
+// run.
+func (o Options) instrumentEngine(eng *sim.Engine) {
+	if o.Monitor != nil {
+		eng.SetMonitor(o.Monitor)
 	}
 }
 
@@ -263,6 +313,7 @@ func allSpecs() []Spec {
 	specs = append(specs, staticSpecs()...)
 	specs = append(specs, schedulerSpecs()...)
 	specs = append(specs, fctSpecs()...)
+	specs = append(specs, fattreeSpecs()...)
 	specs = append(specs, extensionSpecs()...)
 	return specs
 }

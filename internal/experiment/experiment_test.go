@@ -58,7 +58,7 @@ func TestRegistryComplete(t *testing.T) {
 		"pool", "ablation-portk", "ablation-filter", "incast",
 		"ablation-rttthresh", "fct-weighted",
 		"analysis-validation", "ablation-average", "pfc",
-		"ablation-markpoint",
+		"ablation-markpoint", "fattree", "fattree-incast",
 	}
 	for i := 1; i <= 27; i++ {
 		want = append(want, "fig"+itoa(i))

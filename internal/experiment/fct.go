@@ -222,8 +222,10 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 	// arrival, bounded so pathological retransmission loops cannot hang
 	// the experiment.
 	if coord != nil {
+		opt.instrument(coord)
 		coord.RunUntil(lastStart + 2*time.Second)
 	} else {
+		opt.instrumentEngine(eng)
 		eng.RunUntil(lastStart + 2*time.Second)
 	}
 
@@ -239,9 +241,7 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 		m.unclaimed += h.UnclaimedPackets()
 	}
 	if coord != nil {
-		for _, s := range coord.Shards() {
-			opt.observeEngine(s.Engine())
-		}
+		opt.observeCoordinator(coord)
 	} else {
 		opt.observeEngine(eng)
 	}

@@ -274,6 +274,13 @@ type BinaryReader struct {
 	br      *bufio.Reader
 	prevSeq uint64
 	prevT   int64
+	// seqBuf/tBuf hold the decoded Seq and T columns of the chunk under
+	// decode. They are reader-owned scratch, reused across chunks: the
+	// delta chains run across chunk boundaries, so every chunk's Seq and
+	// T columns must be decoded even when the chunk is skipped by a
+	// range read — but a skipped chunk materializes nothing else.
+	seqBuf []uint64
+	tBuf   []int64
 }
 
 // NewBinaryReader wraps r and validates the magic header. A reader on a
@@ -297,45 +304,199 @@ func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
 // Next decodes the next chunk, returning io.EOF at a clean end of
 // stream. A stream that ends mid-chunk returns a truncation error.
 func (d *BinaryReader) Next() ([]Event, error) {
+	count, err := d.chunkCount()
+	if err != nil {
+		return nil, err
+	}
+	events, err := d.decodeChunk(count)
+	if err != nil {
+		return nil, d.truncated(count, err)
+	}
+	return events, nil
+}
+
+// NextRange decodes the next chunk, keeping only events with
+// since <= T <= until. A chunk that falls entirely outside the range is
+// skimmed: its Seq and T columns are still decoded (their delta chains
+// carry state into the next chunk) but the remaining columns are parsed
+// without materializing an event slice, so scanning a narrow window of
+// a large trace skips most of the decode cost. A skipped or
+// filtered-empty chunk returns (nil, nil); io.EOF ends the stream.
+func (d *BinaryReader) NextRange(since, until time.Duration) ([]Event, error) {
+	count, err := d.chunkCount()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.readSeqT(count); err != nil {
+		return nil, d.truncated(count, err)
+	}
+	// Events within one stream are time-ordered, but a merged or
+	// hand-built trace need not be — bound the chunk by scanning the
+	// column we already decoded rather than trusting its endpoints.
+	minT, maxT := d.tBuf[0], d.tBuf[0]
+	for _, t := range d.tBuf[1:count] {
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if time.Duration(maxT) < since || time.Duration(minT) > until {
+		if err := d.skipBody(count); err != nil {
+			return nil, d.truncated(count, err)
+		}
+		return nil, nil
+	}
+	events := d.materialize(count)
+	if err := d.readBody(events); err != nil {
+		return nil, d.truncated(count, err)
+	}
+	kept := events[:0]
+	for i := range events {
+		if events[i].T >= since && events[i].T <= until {
+			kept = append(kept, events[i])
+		}
+	}
+	if len(kept) == 0 {
+		return nil, nil
+	}
+	return kept, nil
+}
+
+// chunkCount reads and validates a chunk header. A clean end of stream
+// is io.EOF.
+func (d *BinaryReader) chunkCount() (int, error) {
 	count, err := binary.ReadUvarint(d.br)
 	if err == io.EOF {
-		return nil, io.EOF
+		return 0, io.EOF
 	}
 	if err != nil {
-		return nil, fmt.Errorf("obs: trace chunk header: %w", err)
+		return 0, fmt.Errorf("obs: trace chunk header: %w", err)
 	}
 	if count == 0 || count > maxChunkEvents {
-		return nil, fmt.Errorf("obs: corrupt trace chunk (count %d, want 1..%d)",
+		return 0, fmt.Errorf("obs: corrupt trace chunk (count %d, want 1..%d)",
 			count, maxChunkEvents)
 	}
-	events := make([]Event, count)
-	if err := d.readColumns(events); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("obs: truncated trace chunk (%d events promised): %w",
-				count, io.ErrUnexpectedEOF)
-		}
+	return int(count), nil
+}
+
+// truncated wraps a mid-chunk EOF into a truncation error.
+func (d *BinaryReader) truncated(count int, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("obs: truncated trace chunk (%d events promised): %w",
+			count, io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+// decodeChunk decodes one whole chunk body of count events.
+func (d *BinaryReader) decodeChunk(count int) ([]Event, error) {
+	if err := d.readSeqT(count); err != nil {
+		return nil, err
+	}
+	events := d.materialize(count)
+	if err := d.readBody(events); err != nil {
 		return nil, err
 	}
 	return events, nil
 }
 
-func (d *BinaryReader) readColumns(events []Event) error {
-	for i := range events {
+// readSeqT decodes the chunk's Seq and T delta columns into the scratch
+// buffers, advancing the cross-chunk delta state.
+func (d *BinaryReader) readSeqT(count int) error {
+	if cap(d.seqBuf) < count {
+		d.seqBuf = make([]uint64, count)
+		d.tBuf = make([]int64, count)
+	}
+	d.seqBuf, d.tBuf = d.seqBuf[:count], d.tBuf[:count]
+	for i := range d.seqBuf {
 		delta, err := binary.ReadVarint(d.br)
 		if err != nil {
 			return err
 		}
 		d.prevSeq += uint64(delta)
-		events[i].Seq = d.prevSeq
+		d.seqBuf[i] = d.prevSeq
 	}
-	for i := range events {
+	for i := range d.tBuf {
 		delta, err := binary.ReadVarint(d.br)
 		if err != nil {
 			return err
 		}
 		d.prevT += delta
-		events[i].T = time.Duration(d.prevT)
+		d.tBuf[i] = d.prevT
 	}
+	return nil
+}
+
+// materialize allocates the chunk's event slice with the already-decoded
+// Seq and T columns filled in.
+func (d *BinaryReader) materialize(count int) []Event {
+	events := make([]Event, count)
+	for i := range events {
+		events[i].Seq = d.seqBuf[i]
+		events[i].T = time.Duration(d.tBuf[i])
+	}
+	return events
+}
+
+// skipBody parses a chunk's remaining columns without storing them. The
+// varint columns are not self-delimiting, so every value is still
+// decoded byte-by-byte; what a skim saves is the event-slice allocation
+// and field scatter — the bulk of a chunk's decode footprint.
+func (d *BinaryReader) skipBody(count int) error {
+	for i := 0; i < count; i++ {
+		k, err := d.br.ReadByte()
+		if err != nil {
+			return err
+		}
+		if k == 0 || Kind(k) >= numKinds {
+			return fmt.Errorf("obs: corrupt trace chunk (unknown kind %d)", k)
+		}
+	}
+	var present [10]int
+	for i := 0; i < count; i++ {
+		b, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return err
+		}
+		if b > bitsAll {
+			return fmt.Errorf("obs: corrupt trace chunk (field bitmap %#x)", b)
+		}
+		for j := range present {
+			if b&(1<<j) != 0 {
+				present[j]++
+			}
+		}
+	}
+	// Field columns in layout order. Signed and unsigned varints share
+	// the same wire shape, so one skip loop serves node..size and pb/qb;
+	// reason and v are fixed-width and discard in one step.
+	for _, idx := range [...]int{0, 1, 2, 3, 4, 5} {
+		for j := 0; j < present[idx]; j++ {
+			if _, err := binary.ReadUvarint(d.br); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := d.br.Discard(present[6]); err != nil {
+		return err
+	}
+	for _, idx := range [...]int{7, 8} {
+		for j := 0; j < present[idx]; j++ {
+			if _, err := binary.ReadUvarint(d.br); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := d.br.Discard(8 * present[9]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readBody decodes the chunk columns after Seq and T into events.
+func (d *BinaryReader) readBody(events []Event) error {
 	for i := range events {
 		k, err := d.br.ReadByte()
 		if err != nil {
@@ -472,6 +633,27 @@ func ReadBinary(r io.Reader) ([]Event, error) {
 	var out []Event
 	for {
 		chunk, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+}
+
+// ReadBinaryRange parses a binary trace keeping only events with
+// since <= T <= until, skimming chunks that fall entirely outside the
+// range instead of materializing them (see BinaryReader.NextRange).
+func ReadBinaryRange(r io.Reader, since, until time.Duration) ([]Event, error) {
+	d, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Event
+	for {
+		chunk, err := d.NextRange(since, until)
 		if err == io.EOF {
 			return out, nil
 		}

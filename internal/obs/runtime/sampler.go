@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"pmsb/internal/sim"
+)
+
+// Sampler streams live progress of a monitored run as periodic JSON
+// lines. It reads only the sim.Monitor's published atomic snapshots —
+// never an engine, a bus, or any other simulation state — so a sampler
+// cannot perturb the simulation: the differential tests assert that a
+// run with a sampler attached is byte-identical to one without.
+//
+// Each line carries wall-clock seconds since start, the simulated-time
+// frontier (the minimum shard clock), total events, the event rate over
+// the last interval, the per-shard lag spread, and — once the sim-time
+// rate is measurable — an ETA to the run's deadline.
+type Sampler struct {
+	w        io.Writer
+	mon      *sim.Monitor
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// ProgressLine is one emitted JSON sample.
+type ProgressLine struct {
+	// WallS is wall-clock seconds since the sampler started.
+	WallS float64 `json:"wall_s"`
+	// SimMS is the simulated-time frontier in milliseconds (the minimum
+	// published shard clock).
+	SimMS float64 `json:"sim_ms"`
+	// Events is the total published event count; EventsPerSec is the
+	// rate over the last interval.
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"eps"`
+	// Shards is the number of published shard slots.
+	Shards int `json:"shards"`
+	// LagMS is the spread between the fastest and slowest shard clocks
+	// in milliseconds.
+	LagMS float64 `json:"lag_ms"`
+	// EtaS estimates wall seconds until the frontier reaches the run
+	// deadline, from the sim-time rate over the last interval. Omitted
+	// until the rate is measurable.
+	EtaS float64 `json:"eta_s,omitempty"`
+	// Final marks the line emitted by Stop.
+	Final bool `json:"final,omitempty"`
+}
+
+// StartSampler begins emitting one JSON line per interval to w. Stop
+// flushes a final line and waits for the goroutine to exit. A
+// non-positive interval defaults to one second.
+func StartSampler(w io.Writer, mon *sim.Monitor, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Sampler{
+		w:        w,
+		mon:      mon,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	enc := json.NewEncoder(s.w)
+	start := time.Now()
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	var last ProgressLine
+	var lastWall time.Time
+	emit := func(final bool) {
+		now := time.Now()
+		p := s.mon.Snapshot()
+		line := ProgressLine{
+			WallS:  now.Sub(start).Seconds(),
+			SimMS:  float64(p.Frontier) / float64(time.Millisecond),
+			Events: p.Events,
+			Shards: len(p.Shards),
+			LagMS:  float64(p.Lag) / float64(time.Millisecond),
+			Final:  final,
+		}
+		if !lastWall.IsZero() {
+			dw := now.Sub(lastWall).Seconds()
+			if dw > 0 {
+				line.EventsPerSec = float64(line.Events-last.Events) / dw
+				simRate := (line.SimMS - last.SimMS) / dw // sim-ms per wall-second
+				deadlineMS := float64(p.Deadline) / float64(time.Millisecond)
+				if simRate > 0 && deadlineMS > line.SimMS {
+					line.EtaS = (deadlineMS - line.SimMS) / simRate
+				}
+			}
+		}
+		enc.Encode(&line) // best-effort: a broken progress pipe must not fail the run
+		last, lastWall = line, now
+	}
+	for {
+		select {
+		case <-tick.C:
+			emit(false)
+		case <-s.stop:
+			emit(true)
+			return
+		}
+	}
+}
+
+// Stop emits a final sample and waits for the sampler goroutine to
+// exit. Safe to call more than once.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}

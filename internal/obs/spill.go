@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // This file is the spill path: instead of overwriting its oldest events
@@ -216,6 +217,40 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 			head, binaryMagic)
 	}
 	return readJSONLFrom(br)
+}
+
+// ReadTraceRange parses a trace keeping only events with
+// since <= T <= until. Binary traces use the chunk-skimming range
+// reader (ReadBinaryRange), so out-of-range chunks never materialize;
+// JSONL traces have no skippable structure and are filtered line by
+// line.
+func ReadTraceRange(r io.Reader, since, until time.Duration) ([]Event, error) {
+	br := bufio.NewReaderSize(r, traceBufSize)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	if bytes.Equal(head, []byte(binaryMagic)) {
+		return ReadBinaryRange(br, since, until)
+	}
+	if len(head) == 0 {
+		return nil, nil
+	}
+	if !jsonlPlausible(head) {
+		return nil, fmt.Errorf("obs: unrecognized trace format (leading bytes %q: neither binary magic %q nor JSONL)",
+			head, binaryMagic)
+	}
+	events, err := readJSONLFrom(br)
+	if err != nil {
+		return nil, err
+	}
+	kept := events[:0]
+	for i := range events {
+		if events[i].T >= since && events[i].T <= until {
+			kept = append(kept, events[i])
+		}
+	}
+	return kept, nil
 }
 
 // jsonlPlausible reports whether a trace head could open a JSONL

@@ -66,9 +66,71 @@ var poisoned = Packet{
 	released:   true,
 }
 
+// statsState is the optional pool self-profile (see EnablePoolStats):
+// gets/releases throughput counters and an in-use high-water mark. Like
+// debugPoison, the whole block is gated on one atomic.Bool load so the
+// disabled hot path pays a single predictable branch and no contended
+// cache lines.
+type statsState struct {
+	enabled  atomic.Bool
+	gets     atomic.Uint64
+	releases atomic.Uint64
+	inUse    atomic.Int64
+	hiwater  atomic.Int64
+}
+
+var stats statsState
+
+// PoolStats is a snapshot of the pool self-profile.
+type PoolStats struct {
+	// Gets / Releases count pool round-trips since EnablePoolStats.
+	Gets     uint64 `json:"gets"`
+	Releases uint64 `json:"releases"`
+	// InUse is the current outstanding (got, not yet released) packet
+	// count; HiWater is its maximum — the live packet population the
+	// simulation actually needed.
+	InUse   int64 `json:"inUse"`
+	HiWater int64 `json:"hiwater"`
+}
+
+// EnablePoolStats toggles pool self-profiling, resetting the counters
+// when turning it on. Counting is approximate only in that packets
+// already outstanding at enable time make InUse go negative-leaning;
+// enable before the simulation starts for exact numbers.
+func EnablePoolStats(on bool) {
+	if on {
+		stats.gets.Store(0)
+		stats.releases.Store(0)
+		stats.inUse.Store(0)
+		stats.hiwater.Store(0)
+	}
+	stats.enabled.Store(on)
+}
+
+// ReadPoolStats returns the current pool self-profile (zeros when
+// profiling was never enabled).
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		Gets:     stats.gets.Load(),
+		Releases: stats.releases.Load(),
+		InUse:    stats.inUse.Load(),
+		HiWater:  stats.hiwater.Load(),
+	}
+}
+
 // Get returns a zeroed packet from the pool. The caller owns it until
 // it hands the packet to the network; see the ownership rules above.
 func Get() *Packet {
+	if stats.enabled.Load() {
+		stats.gets.Add(1)
+		n := stats.inUse.Add(1)
+		for {
+			hw := stats.hiwater.Load()
+			if n <= hw || stats.hiwater.CompareAndSwap(hw, n) {
+				break
+			}
+		}
+	}
 	p := pool.Get().(*Packet)
 	*p = Packet{}
 	return p
@@ -81,6 +143,10 @@ func Get() *Packet {
 func Release(p *Packet) {
 	if p == nil {
 		return
+	}
+	if stats.enabled.Load() {
+		stats.releases.Add(1)
+		stats.inUse.Add(-1)
 	}
 	if debugPoison.Load() {
 		if p.released {

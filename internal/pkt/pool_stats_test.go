@@ -1,0 +1,65 @@
+package pkt
+
+import "testing"
+
+// Pool stats, when enabled, track gets/releases and an in-use high
+// water mark; enabling resets the counters so one run's profile does
+// not leak into the next.
+func TestPoolStats(t *testing.T) {
+	EnablePoolStats(true)
+	defer EnablePoolStats(false)
+
+	const n = 64
+	pkts := make([]*Packet, 0, n)
+	for i := 0; i < n; i++ {
+		pkts = append(pkts, Get())
+	}
+	st := ReadPoolStats()
+	if st.Gets < n {
+		t.Fatalf("gets = %d, want >= %d", st.Gets, n)
+	}
+	if st.InUse != n {
+		t.Fatalf("in-use = %d with %d outstanding packets", st.InUse, n)
+	}
+	if st.HiWater < n {
+		t.Fatalf("high water = %d, want >= %d", st.HiWater, n)
+	}
+	for _, p := range pkts {
+		Release(p)
+	}
+	st = ReadPoolStats()
+	if st.InUse != 0 {
+		t.Fatalf("in-use = %d after releasing everything", st.InUse)
+	}
+	if st.Releases != st.Gets {
+		t.Fatalf("releases = %d, gets = %d after releasing everything", st.Releases, st.Gets)
+	}
+	if st.HiWater < n {
+		t.Fatalf("high water regressed to %d", st.HiWater)
+	}
+
+	// Re-enabling resets.
+	EnablePoolStats(true)
+	st = ReadPoolStats()
+	if st.Gets != 0 || st.InUse != 0 || st.HiWater != 0 {
+		t.Fatalf("counters not reset on enable: %+v", st)
+	}
+
+	// Disabled: counters freeze.
+	EnablePoolStats(false)
+	Release(Get())
+	if st := ReadPoolStats(); st.Gets != 0 {
+		t.Fatalf("disabled pool still counted %d gets", st.Gets)
+	}
+}
+
+// The disabled stats path must not add allocations to Get/Release.
+func TestPoolStatsDisabledZeroAlloc(t *testing.T) {
+	EnablePoolStats(false)
+	avg := testing.AllocsPerRun(1000, func() {
+		Release(Get())
+	})
+	if avg != 0 {
+		t.Fatalf("Get+Release allocates %.2f/op with stats disabled, want 0", avg)
+	}
+}

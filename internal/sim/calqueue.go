@@ -44,6 +44,13 @@ type calQueue struct {
 
 	overflow heapQueue
 	scratch  []*event // rebuild workspace, reused across resizes
+
+	// Churn counters for Engine.Stats, maintained unconditionally: they
+	// live on the rebuild and overflow-migration paths, which amortize
+	// against many pops, never on the per-pop fast path.
+	grows      uint64
+	shrinks    uint64
+	migrations uint64
 }
 
 // calBucket chains events whose time hashes to this slice, sorted
@@ -248,6 +255,7 @@ func (c *calQueue) migrate() {
 		}
 		c.insertBucket(c.overflow.pop())
 		c.count++
+		c.migrations++
 	}
 }
 
@@ -272,6 +280,11 @@ func (c *calQueue) directMin() *event {
 func (c *calQueue) rebuild(nb int) {
 	evs := c.collect()
 	for {
+		if nb > len(c.buckets) {
+			c.grows++
+		} else if nb < len(c.buckets) {
+			c.shrinks++
+		}
 		c.layout(nb, evs)
 		if c.count+c.overflow.len() <= 2*nb {
 			return

@@ -64,6 +64,14 @@ type Engine struct {
 	// population survives drain/refill cycles without re-allocating.
 	free    []*event
 	hiwater int
+	// mon is the live progress slot when a Monitor is attached (serial
+	// engines via SetMonitor, degenerate coordinator runs directly); nil
+	// — one pointer test in Step — when disabled. monOwner holds the
+	// attached Monitor so RunUntil can publish its deadline; monCount
+	// counts down to the next periodic publication.
+	mon      *MonitorShard
+	monOwner *Monitor
+	monCount int
 }
 
 // NewEngine returns an engine with virtual time zero and no events,
@@ -281,6 +289,12 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		ev.fired = true
 		e.processed++
+		if e.mon != nil {
+			if e.monCount--; e.monCount <= 0 {
+				e.monCount = monPublishEvery
+				e.mon.publish(e.processed, e.now)
+			}
+		}
 		fn, callFn, arg := ev.fn, ev.callFn, ev.arg
 		e.recycle(ev)
 		if callFn != nil {
@@ -308,6 +322,9 @@ func (e *Engine) Run() {
 // stretch every rate and age computed afterwards.
 func (e *Engine) RunUntil(deadline time.Duration) {
 	e.stopped = false
+	if e.monOwner != nil {
+		e.monOwner.deadline.Store(int64(deadline))
+	}
 	for !e.stopped {
 		ev := e.peek()
 		if ev == nil || ev.at > deadline {
@@ -320,6 +337,9 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 	}
 	if e.now < deadline {
 		e.now = deadline
+	}
+	if e.mon != nil {
+		e.mon.publish(e.processed, e.now)
 	}
 }
 

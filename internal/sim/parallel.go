@@ -171,6 +171,13 @@ type Coordinator struct {
 	// not race with the next run re-making them.
 	doneCh  chan *Shard
 	stealCh chan *Shard
+
+	// rt collects runtime self-observation when EnableRuntimeStats was
+	// called; mon is the live progress surface when SetMonitor was.
+	// Both nil (disabled) by default; frozen at the first RunUntil like
+	// the rest of the configuration.
+	rt  *runStats
+	mon *Monitor
 }
 
 // inChan is one incoming channel of a shard: the sending shard and the
@@ -211,6 +218,11 @@ type Shard struct {
 	pendingIn []remoteEvent
 
 	grantCh chan struct{}
+
+	// mon is this shard's progress slot when a Monitor is attached (nil
+	// otherwise); the worker executing a window publishes into it at the
+	// window boundary.
+	mon *MonitorShard
 }
 
 // remoteEvent is one cross-shard delivery waiting to be injected.
@@ -357,17 +369,27 @@ func (b *Boundary) Send(fn func(any), arg any) {
 // configuration (see Boundary).
 func (c *Coordinator) RunUntil(deadline time.Duration) {
 	c.started = true
+	if rt := c.rt; rt != nil {
+		rt.size(len(c.shards))
+		start := time.Now()
+		defer func() { rt.wall += time.Since(start) }()
+	}
+	if c.mon != nil {
+		c.mon.deadline.Store(int64(deadline))
+		slots := c.mon.attach(len(c.shards))
+		for i, s := range c.shards {
+			s.mon = slots[i]
+		}
+	}
 	switch {
 	case len(c.shards) == 0:
 		return
 	case len(c.shards) == 1:
-		c.shards[0].eng.RunUntil(deadline)
+		c.runDegenerate(c.shards[:1], deadline)
 		return
 	case c.lookahead <= 0:
 		// No boundaries: the shards are fully independent simulations.
-		for _, s := range c.shards {
-			s.eng.RunUntil(deadline)
-		}
+		c.runDegenerate(c.shards, deadline)
 		return
 	}
 
@@ -385,6 +407,40 @@ func (c *Coordinator) RunUntil(deadline time.Duration) {
 	}
 	for _, s := range c.shards {
 		s.eng.advanceTo(deadline)
+		if s.mon != nil {
+			s.mon.publish(s.eng.processed, s.eng.now)
+		}
+	}
+}
+
+// runDegenerate runs shards to the deadline serially, for the cases
+// that need no windowing (a single shard, or no cross-shard
+// boundaries). Instrumentation treats each engine run as one window on
+// the shard's own worker slot; the engine publishes live progress
+// itself while it runs.
+func (c *Coordinator) runDegenerate(shards []*Shard, deadline time.Duration) {
+	for _, s := range shards {
+		if s.mon != nil {
+			s.eng.mon = s.mon
+		}
+		if rt := c.rt; rt != nil {
+			start := time.Now()
+			e0 := s.eng.processed
+			s.eng.RunUntil(deadline)
+			d := int64(time.Since(start))
+			sc := &rt.shards[s.id]
+			sc.events.Add(s.eng.processed - e0)
+			sc.busy.Add(d)
+			wc := &rt.workers[s.id]
+			wc.windows.Add(1)
+			wc.busy.Add(d)
+		} else {
+			s.eng.RunUntil(deadline)
+		}
+		if s.mon != nil {
+			s.eng.mon = nil
+			s.mon.publish(s.eng.processed, s.eng.now)
+		}
 	}
 }
 
@@ -396,9 +452,9 @@ func (c *Coordinator) runGlobal(deadline time.Duration) {
 	// are the happens-before edges that hand each engine between its
 	// worker and the coordinator.
 	c.doneCh = make(chan *Shard)
-	for _, s := range c.shards {
+	for i, s := range c.shards {
 		s.grantCh = make(chan struct{})
-		go s.work(s.grantCh, c.doneCh)
+		go c.work(i, s, s.grantCh, c.doneCh)
 	}
 	defer func() {
 		for _, s := range c.shards {
@@ -406,6 +462,7 @@ func (c *Coordinator) runGlobal(deadline time.Duration) {
 		}
 	}()
 
+	rt := c.rt
 	for {
 		t, ok := c.minNext()
 		if !ok || t > deadline {
@@ -424,15 +481,31 @@ func (c *Coordinator) runGlobal(deadline time.Duration) {
 		// the barrier: each completion is acknowledged on the shared
 		// doneCh regardless of which shard finished first.
 		active := 0
+		if rt != nil {
+			rt.grantCalls++
+		}
 		for _, s := range c.shards {
 			if s.hasNext && s.nextAt < w {
 				s.grantEnd = w
+				if rt != nil {
+					sc := &rt.shards[s.id]
+					sc.grants++
+					sc.grantWidth += w - s.nextAt
+				}
 				s.grantCh <- struct{}{}
 				active++
 			}
 		}
-		for i := 0; i < active; i++ {
-			<-c.doneCh
+		if rt != nil {
+			t0 := time.Now()
+			for i := 0; i < active; i++ {
+				<-c.doneCh
+			}
+			rt.coordBlocked += time.Since(t0)
+		} else {
+			for i := 0; i < active; i++ {
+				<-c.doneCh
+			}
 		}
 		c.drainOutboxes()
 	}
@@ -450,14 +523,14 @@ func (c *Coordinator) runChannel(deadline time.Duration) {
 		// is not running, so at most len(shards)-1 windows are in
 		// flight and at least one worker is parked on stealCh.
 		c.stealCh = make(chan *Shard)
-		for range c.shards {
-			go stealWorker(c.stealCh, c.doneCh)
+		for i := range c.shards {
+			go c.stealWork(i, c.stealCh, c.doneCh)
 		}
 		defer close(c.stealCh)
 	} else {
-		for _, s := range c.shards {
+		for i, s := range c.shards {
 			s.grantCh = make(chan struct{})
-			go s.work(s.grantCh, c.doneCh)
+			go c.work(i, s, s.grantCh, c.doneCh)
 		}
 		defer func() {
 			for _, s := range c.shards {
@@ -485,7 +558,14 @@ func (c *Coordinator) runChannel(deadline time.Duration) {
 			}
 			return
 		}
-		s := <-c.doneCh
+		var s *Shard
+		if rt := c.rt; rt != nil {
+			t0 := time.Now()
+			s = <-c.doneCh
+			rt.coordBlocked += time.Since(t0)
+		} else {
+			s = <-c.doneCh
+		}
 		running--
 		c.completeWindow(s)
 		// Absorb any other already-finished windows before regranting:
@@ -509,6 +589,10 @@ func (c *Coordinator) runChannel(deadline time.Duration) {
 // windows granted.
 func (c *Coordinator) grantWindows(limit, deadline time.Duration) int {
 	c.relaxClocks()
+	rt := c.rt
+	if rt != nil {
+		rt.grantCalls++
+	}
 	granted := 0
 	for _, s := range c.shards {
 		if s.running || !s.hasNext || s.nextAt > deadline {
@@ -528,6 +612,11 @@ func (c *Coordinator) grantWindows(limit, deadline time.Duration) int {
 		s.lb = s.nextAt
 		s.grantEnd = g
 		granted++
+		if rt != nil {
+			sc := &rt.shards[s.id]
+			sc.grants++
+			sc.grantWidth += g - s.nextAt
+		}
 		if c.stealing {
 			c.stealCh <- s
 		} else {
@@ -546,6 +635,7 @@ func (c *Coordinator) grantWindows(limit, deadline time.Duration) int {
 // shard with no local work still advances its neighbors' clocks by
 // its own earliest possible cause plus the channel delay.
 func (c *Coordinator) relaxClocks() {
+	rt := c.rt
 	for _, s := range c.shards {
 		if s.running {
 			continue
@@ -558,6 +648,9 @@ func (c *Coordinator) relaxClocks() {
 	}
 	for {
 		changed := false
+		if rt != nil {
+			rt.relaxRounds++
+		}
 		for dst, ins := range c.in {
 			d := c.shards[dst]
 			if d.running {
@@ -567,6 +660,9 @@ func (c *Coordinator) relaxClocks() {
 				if v := satAdd(c.shards[ch.src].lb, ch.delay); v < d.lb {
 					d.lb = v
 					changed = true
+					if rt != nil {
+						rt.shards[dst].nullAdvances++
+					}
 				}
 			}
 		}
@@ -611,6 +707,10 @@ func (c *Coordinator) buildChannels() {
 // are injected, and it returns to the grantable pool.
 func (c *Coordinator) completeWindow(s *Shard) {
 	s.running = false
+	rt := c.rt
+	if rt != nil {
+		rt.shards[s.id].outboxSent += uint64(len(s.outbox))
+	}
 	for i := range s.outbox {
 		r := &s.outbox[i]
 		d := r.dst
@@ -619,6 +719,9 @@ func (c *Coordinator) completeWindow(s *Shard) {
 			// or beyond d's grant (that is how d's grant was computed),
 			// so nothing d's current window executes could need it.
 			d.pendingIn = append(d.pendingIn, *r)
+			if rt != nil {
+				rt.shards[d.id].parked++
+			}
 		} else {
 			d.eng.injectRemote(r.at, r.sentAt, r.lane, r.seq, r.fn, r.arg)
 			if !d.hasNext || r.at < d.nextAt {
@@ -643,19 +746,32 @@ func (c *Coordinator) completeWindow(s *Shard) {
 
 // work is a dedicated worker: it runs its own shard's granted windows.
 // The channels arrive as parameters so the loop never reads coordinator
-// fields the next RunUntil will re-make.
-func (s *Shard) work(grants <-chan struct{}, done chan<- *Shard) {
+// fields the next RunUntil will re-make; w is the worker's index for
+// wall-time attribution (equal to the shard's id for dedicated
+// workers). The blocked charge after the done handoff runs after the
+// coordinator may already have moved on — which is why worker-side
+// counters are atomics.
+func (c *Coordinator) work(w int, s *Shard, grants <-chan struct{}, done chan<- *Shard) {
+	mark := time.Now()
 	for range grants {
-		s.nextAt, s.hasNext = s.eng.runBefore(s.grantEnd)
+		c.runGrant(w, s, &mark)
 		done <- s
+		if c.rt != nil {
+			c.rt.workerBlocked(w, &mark)
+		}
 	}
 }
 
-// stealWorker runs whichever shard's window the grant queue hands it.
-func stealWorker(grants <-chan *Shard, done chan<- *Shard) {
+// stealWork runs whichever shard's window the grant queue hands worker
+// w.
+func (c *Coordinator) stealWork(w int, grants <-chan *Shard, done chan<- *Shard) {
+	mark := time.Now()
 	for s := range grants {
-		s.nextAt, s.hasNext = s.eng.runBefore(s.grantEnd)
+		c.runGrant(w, s, &mark)
 		done <- s
+		if c.rt != nil {
+			c.rt.workerBlocked(w, &mark)
+		}
 	}
 }
 
@@ -680,6 +796,9 @@ func (c *Coordinator) minNext() (time.Duration, bool) {
 // layout is reproducible too.
 func (c *Coordinator) drainOutboxes() {
 	for _, s := range c.shards {
+		if c.rt != nil {
+			c.rt.shards[s.id].outboxSent += uint64(len(s.outbox))
+		}
 		for i := range s.outbox {
 			r := &s.outbox[i]
 			r.dst.eng.injectRemote(r.at, r.sentAt, r.lane, r.seq, r.fn, r.arg)
