@@ -37,7 +37,7 @@ test-short:
 	$(GO) test -short ./...
 
 # Key hot-path benchmarks, recorded as JSON so the perf trajectory is
-# tracked from PR to PR (BENCH_1.json was the first point, BENCH_7.json
+# tracked from PR to PR (BENCH_1.json was the first point, BENCH_8.json
 # the current one; benchjson prints the delta against BENCH_BASE but
 # never fails the build — timings on shared machines are a trend line,
 # not a gate). Each benchmark runs BENCHCOUNT times and benchjson keeps
@@ -51,11 +51,11 @@ test-short:
 # is anchored, so the sharded fat-tree and traced benchmarks must be
 # listed on their own — the BenchmarkFatTree alternative does not
 # cover them.
-KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkFatTree16Sharded|BenchmarkFatTreeTraced|BenchmarkTraceEncodeJSONL|BenchmarkTraceEncodeBinary|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
+KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkFatTree16Sharded|BenchmarkFatTreeTraced|BenchmarkFlowSimFatTree|BenchmarkFatTreeBuild|BenchmarkTraceEncodeJSONL|BenchmarkTraceEncodeBinary|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_7.json
-BENCH_BASE ?= BENCH_6.json
+BENCH_OUT ?= BENCH_8.json
+BENCH_BASE ?= BENCH_7.json
 
 bench:
 	$(GO) test -run '^$$' -bench "$(KEY_BENCHES)" -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . \
@@ -64,8 +64,8 @@ bench:
 	# to the benchmark numbers, so perf regressions come with the
 	# coordinator's own accounting of where the time went.
 	-$(GO) run ./cmd/pmsbsim -experiment fattree -shards 4 -par channel-steal \
-		-runtimestats BENCH_7.rtstats > /dev/null && \
-		$(GO) run ./cmd/pmsbstat -runtime BENCH_7.rtstats
+		-runtimestats BENCH_8.rtstats > /dev/null && \
+		$(GO) run ./cmd/pmsbstat -runtime BENCH_8.rtstats
 
 # Every benchmark (one per paper table/figure plus engine micro-benches).
 bench-all:

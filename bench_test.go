@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"pmsb/internal/core"
 	"pmsb/internal/ecn"
 	"pmsb/internal/experiment"
+	"pmsb/internal/flowsim"
 	"pmsb/internal/netsim"
 	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
@@ -20,6 +22,7 @@ import (
 	"pmsb/internal/topo"
 	"pmsb/internal/transport"
 	"pmsb/internal/units"
+	"pmsb/internal/workload"
 )
 
 // benchExperiment runs one registered experiment per iteration in Quick
@@ -555,3 +558,118 @@ func (nullNode) Receive(p *pkt.Packet) { pkt.Release(p) }
 func BenchmarkPFC(b *testing.B) { benchExperiment(b, "pfc") }
 
 func BenchmarkAblationMarkPoint(b *testing.B) { benchExperiment(b, "ablation-markpoint") }
+
+// --- Flow-level engine ---------------------------------------------------
+
+// BenchmarkFlowSimFatTree runs the flow-level fluid engine over the
+// exact workload of BenchmarkFatTree (k=8, 2048 x 50KB flows, same
+// src/dst striding and flow-ID order, so every ECMP choice matches).
+// The ns/op ratio against BenchmarkFatTree is the packet-vs-flow
+// speedup BENCH_8.json records.
+func BenchmarkFlowSimFatTree(b *testing.B) {
+	g := topo.FatTreePaths(topo.FatTreeConfig{K: 8})
+	specs := flowSimFatTreeSpecs(g.Hosts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFlowSimOnce(b, g, specs)
+	}
+}
+
+// flowSimFatTreeSpecs mirrors driveFatTreeFlows' deterministic workload
+// as engine-agnostic specs.
+func flowSimFatTreeSpecs(n int) []workload.FlowSpec {
+	const flows = 2048
+	specs := make([]workload.FlowSpec, 0, flows)
+	for i := 0; i < flows; i++ {
+		src := (i * 0x9e37) % n
+		dst := (src + 1 + (i*0x79b9)%(n-1)) % n
+		specs = append(specs, workload.FlowSpec{
+			Start:   time.Duration(i%2048) * time.Microsecond,
+			Src:     src,
+			Dst:     dst,
+			Size:    50_000,
+			Service: i % 8,
+		})
+	}
+	return specs
+}
+
+func runFlowSimOnce(b *testing.B, g *topo.PathGraph, specs []workload.FlowSpec) {
+	b.Helper()
+	eng := sim.NewEngine()
+	completed := 0
+	fs := flowsim.New(eng, g, flowsim.Config{
+		Marking:    flowsim.PMSB{KBytes: float64(units.Packets(12))},
+		Weights:    []int{1, 1, 1, 1, 1, 1, 1, 1},
+		InitWindow: 16,
+		OnFinish:   func(flowsim.FlowResult) { completed++ },
+	})
+	fs.Start(specs)
+	eng.RunUntil(2 * time.Second)
+	if completed != len(specs) {
+		b.Fatalf("completed %d/%d", completed, len(specs))
+	}
+}
+
+// BenchmarkFatTreeBuild measures topology construction cost and memory
+// footprint at k in {8, 16, 32} for both the packet fabric and the
+// flow-level path graph, reporting bytes/port (the roadmap's k=32
+// memory-gap number: the packet engine's ~41k-port footprint vs the
+// flow graph's link array).
+func BenchmarkFatTreeBuild(b *testing.B) {
+	for _, k := range []int{8, 16, 32} {
+		k := k
+		ports := 5 * k * k * k / 4 // k^3/4 host NICs + 4 switch tiers' worth of ports
+		b.Run(fmt.Sprintf("packet/k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			var ft *topo.FatTree
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ft = topo.NewFatTree(sim.NewEngine(), topo.FatTreeConfig{
+					K: k,
+					Ports: topo.PortProfile{
+						Weights:     topo.EqualWeights(8),
+						NewSched:    topo.FIFOFactory(),
+						NewMarker:   func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
+						BufferBytes: units.Packets(250),
+					},
+				})
+			}
+			b.StopTimer()
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			if ft != nil && ft.NumHosts() != k*k*k/4 {
+				b.Fatal("bad fabric")
+			}
+			live := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+			if live > 0 {
+				b.ReportMetric(live/float64(ports), "bytes/port")
+			}
+		})
+		b.Run(fmt.Sprintf("flow/k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			var g *topo.PathGraph
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g = topo.FatTreePaths(topo.FatTreeConfig{K: k})
+			}
+			b.StopTimer()
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			if g == nil || g.Hosts != k*k*k/4 {
+				b.Fatal("bad graph")
+			}
+			live := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+			if live > 0 {
+				b.ReportMetric(live/float64(ports), "bytes/port")
+			}
+		})
+	}
+}

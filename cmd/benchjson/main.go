@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +44,37 @@ type Metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra carries custom units reported via b.ReportMetric (e.g. the
+	// build benchmarks' bytes/port), keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// envInfo records the machine and source state a report was produced
+// under, embedded as the report's "_env" entry. Perf numbers are only
+// comparable across reports from the same hardware and parallelism; the
+// git SHA ties the numbers to the code they measured. The underscore
+// key cannot collide with a benchmark name (they all start with
+// "Benchmark"), and the baseline comparison, which decodes entries as
+// Metrics, ignores it by construction.
+type envInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GitSHA     string `json:"git_sha,omitempty"`
+}
+
+// captureEnv snapshots the environment. The git lookup is fail-soft: a
+// run outside a work tree (or without git) just omits the SHA.
+func captureEnv() envInfo {
+	e := envInfo{
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		e.GitSHA = strings.TrimSpace(string(out))
+	}
+	return e
 }
 
 func main() {
@@ -172,7 +205,7 @@ func parseLine(line string) (Metrics, string, bool) {
 		if err != nil {
 			return Metrics{}, "", false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			m.NsPerOp = v
 			seenNs = true
@@ -180,6 +213,14 @@ func parseLine(line string) (Metrics, string, bool) {
 			m.BytesPerOp = v
 		case "allocs/op":
 			m.AllocsPerOp = v
+		default:
+			// Custom b.ReportMetric units (always of the form x/y).
+			if strings.Contains(unit, "/") {
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[unit] = v
+			}
 		}
 	}
 	if !seenNs {
@@ -189,15 +230,21 @@ func parseLine(line string) (Metrics, string, bool) {
 }
 
 // render produces deterministic (sorted-key) JSON so diffs between
-// BENCH_N.json files stay readable.
+// BENCH_N.json files stay readable. The "_env" entry leads so a reader
+// sees the provenance before the numbers.
 func render(results map[string]Metrics) (string, error) {
 	names := make([]string, 0, len(results))
 	for n := range results {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	env, err := json.Marshal(captureEnv())
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  \"_env\": %s,\n", env)
 	for i, n := range names {
 		entry, err := json.Marshal(results[n])
 		if err != nil {

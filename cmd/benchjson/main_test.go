@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,6 +29,22 @@ func TestParseLine(t *testing.T) {
 	}
 	if m.Iterations != 9512162 || m.NsPerOp != 255.2 || m.BytesPerOp != 192 || m.AllocsPerOp != 5 {
 		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestParseLineCustomUnits(t *testing.T) {
+	m, name, ok := parseLine("BenchmarkFatTreeBuild/packet/k8-8   12   9500000 ns/op   2048 bytes/port   100 B/op   3 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "BenchmarkFatTreeBuild/packet/k8" {
+		t.Fatalf("name = %q", name)
+	}
+	if m.Extra["bytes/port"] != 2048 {
+		t.Fatalf("custom unit not captured: %+v", m)
+	}
+	if m.NsPerOp != 9500000 || m.BytesPerOp != 100 {
+		t.Fatalf("standard units mishandled: %+v", m)
 	}
 }
 
@@ -102,6 +119,51 @@ func TestRunWritesSortedJSON(t *testing.T) {
 	}
 	if strings.Contains(got, "BenchmarkZeroAlloc-16") {
 		t.Fatalf("GOMAXPROCS suffix not stripped:\n%s", got)
+	}
+}
+
+// TestEnvEntry: every report embeds the machine/source provenance as
+// "_env", and a baseline carrying one still compares cleanly (the
+// entry decodes to a zero Metrics and no benchmark shares its name).
+func TestEnvEntry(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var echo strings.Builder
+	if err := run(strings.NewReader(sample), &echo, outPath, "", 10); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]json.RawMessage
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, body)
+	}
+	var env struct {
+		NumCPU     int    `json:"num_cpu"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	}
+	if err := json.Unmarshal(report["_env"], &env); err != nil {
+		t.Fatalf("_env entry missing or malformed: %v\n%s", err, body)
+	}
+	if env.NumCPU < 1 || env.GoMaxProcs < 1 || env.GoVersion == "" {
+		t.Fatalf("_env not populated: %+v", env)
+	}
+
+	// A baseline produced by this version (with "_env") compares
+	// without tripping over the extra key.
+	echo.Reset()
+	if err := run(strings.NewReader(sample), &echo, "", outPath, 10); err != nil {
+		t.Fatalf("comparison against env-bearing baseline: %v", err)
+	}
+	if strings.Contains(echo.String(), "no baseline comparison") {
+		t.Fatalf("env-bearing baseline rejected:\n%s", echo.String())
+	}
+	// No comparison row for the provenance entry (rows are indented and
+	// unquoted; the echoed report's own `"_env"` key is quoted).
+	if strings.Contains(echo.String(), "\n  _env") {
+		t.Fatalf("_env compared as a benchmark:\n%s", echo.String())
 	}
 }
 

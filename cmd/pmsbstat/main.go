@@ -13,6 +13,13 @@
 // run — are merged into one deterministic timeline by (time, argument
 // order, sequence number) before analysis.
 //
+// When only the count and depth sections are requested
+// (-marks=false -top 0) and every input is binary, the reduction
+// streams column-by-column over the trace chunks without materializing
+// events (obs.StreamStats): memory stays proportional to the topology,
+// not the trace, so full-run spill traces of any size analyze in one
+// pass. The output is identical to the materializing path.
+//
 // Examples:
 //
 //	pmsbsim -experiment fig8 -quick -tracefile fig8.jsonl
@@ -28,6 +35,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -88,6 +96,12 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-until %v precedes -since %v", *until, *since)
 	}
 
+	// Count/depth-only reports over binary traces stream the reduction
+	// instead of materializing events.
+	if !*marks && *top == 0 && allBinary(fs.Args()) {
+		return streamReport(stdout, fs.Args(), lo, hi, *counts, *depth)
+	}
+
 	// Each file's format is auto-detected; several files (per-shard
 	// spill traces) merge into one deterministic timeline.
 	streams := make([][]obs.Event, 0, fs.NArg())
@@ -112,6 +126,90 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	report(stdout, events, *bin, *top, *depth, *marks, *counts)
+	return nil
+}
+
+// allBinary reports whether every path begins with the binary trace
+// magic. Unreadable files return false so the materializing path can
+// surface its usual error.
+func allBinary(paths []string) bool {
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return false
+		}
+		ok := obs.LooksBinary(bufio.NewReader(f))
+		f.Close()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// streamReport runs the count/depth reductions column-wise over binary
+// traces without materializing events, printing the same sections the
+// materializing report would.
+func streamReport(w io.Writer, paths []string, since, until time.Duration, counts, depth bool) error {
+	st := obs.NewStreamStats(obs.StreamOptions{
+		Counts: counts, Depths: depth, Since: since, Until: until,
+	})
+	for _, path := range paths {
+		if err := reduceTrace(st, path); err != nil {
+			return err
+		}
+	}
+	if st.Events == 0 {
+		if since != 0 || until != 1<<63-1 {
+			return fmt.Errorf("trace %s holds no events in [%v, %v]", paths[0], since, until)
+		}
+		return fmt.Errorf("trace %s holds no events", paths[0])
+	}
+
+	fmt.Fprintf(w, "# trace: %d events, %s span", st.Events, st.MaxT-st.MinT)
+	// Several files merge into one time-sorted timeline, which never
+	// restarts; a single file reports its own restarts.
+	segs := 1
+	if len(paths) == 1 {
+		segs = st.Segments
+	}
+	if segs > 1 {
+		fmt.Fprintf(w, ", %d segments (virtual time restarts; multi-run trace)", segs)
+	}
+	fmt.Fprintln(w)
+
+	if counts {
+		fmt.Fprintln(w, "\n## events by kind")
+		for _, k := range obs.Kinds() {
+			if n, ok := st.Kinds[k]; ok {
+				fmt.Fprintf(w, "%-12s\t%d\n", k, n)
+			}
+		}
+	}
+
+	if depth {
+		fmt.Fprintln(w, "\n## queue depth (bytes sampled at enqueue/dequeue)")
+		fmt.Fprintln(w, "node\tport\tqueue\tsamples\tmean\tp50\tp90\tp99\tmax")
+		for _, k := range st.DepthKeys() {
+			s := st.Depths[k]
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				k.Node, k.Port, k.Queue, s.Count(), s.Mean(),
+				s.Percentile(50), s.Percentile(90), s.Percentile(99), s.Max())
+		}
+	}
+	return nil
+}
+
+// reduceTrace folds one binary trace file into the accumulator.
+func reduceTrace(st *obs.StreamStats, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+	if err := st.Reduce(f); err != nil {
+		return fmt.Errorf("read trace %s: %w", path, err)
+	}
 	return nil
 }
 

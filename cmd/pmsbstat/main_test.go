@@ -154,6 +154,64 @@ func TestBinaryReport(t *testing.T) {
 	}
 }
 
+// TestStreamedReport: a count/depth-only report over a binary trace
+// takes the streaming column-wise path; its output must be
+// byte-identical to the materializing path over the same events (here:
+// the JSONL encoding of the same trace, which cannot stream).
+func TestStreamedReport(t *testing.T) {
+	jsonlPath := writeTrace(t)
+	f, err := os.Open(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(t.TempDir(), "trace.bin")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteBinary(bf, events); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	flags := []string{"-marks=false", "-top", "0"}
+	jout, err := capture(t, append(flags, jsonlPath)...)
+	if err != nil {
+		t.Fatalf("materializing report: %v", err)
+	}
+	bout, err := capture(t, append(flags, binPath)...)
+	if err != nil {
+		t.Fatalf("streaming report: %v", err)
+	}
+	if jout != bout {
+		t.Errorf("streamed report differs from materialized:\nmaterialized:\n%s\nstreamed:\n%s", jout, bout)
+	}
+
+	// The range flags apply on the streaming path too.
+	ranged := append([]string{"-since", "2ms", "-until", "7ms"}, flags...)
+	jout, err = capture(t, append(ranged, jsonlPath)...)
+	if err != nil {
+		t.Fatalf("materializing ranged report: %v", err)
+	}
+	bout, err = capture(t, append(ranged, binPath)...)
+	if err != nil {
+		t.Fatalf("streaming ranged report: %v", err)
+	}
+	if jout != bout {
+		t.Errorf("ranged streamed report differs:\nmaterialized:\n%s\nstreamed:\n%s", jout, bout)
+	}
+
+	// An out-of-range window errors like the materializing path.
+	if _, err := capture(t, append([]string{"-since", "1h"}, append(flags, binPath)...)...); err == nil {
+		t.Error("empty streamed window did not error")
+	}
+}
+
 // TestMergedShardReport: several trace files merge into one timeline;
 // the event count is the sum and the merged report parses every file's
 // events.

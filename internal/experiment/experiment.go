@@ -44,6 +44,11 @@ type Options struct {
 	// Steal enables work-stealing between shard workers under
 	// ParChannel. Ignored otherwise.
 	Steal bool
+	// Engine selects the simulation engine for experiments that support
+	// both: "packet" (default, ground truth) or "flow" (the flow-level
+	// fluid fast path in internal/flowsim). Experiments without a
+	// flow-level formulation ignore it.
+	Engine string
 
 	// Obs, when non-nil, attaches the observability bus to the
 	// experiment's bottleneck port, markers and transports. The bus is
@@ -155,6 +160,13 @@ func (o Options) repeats() int {
 		return 1
 	}
 	return o.Repeats
+}
+
+func (o Options) engine() string {
+	if o.Engine == "" {
+		return "packet"
+	}
+	return o.Engine
 }
 
 func (o Options) shards() int {
@@ -315,5 +327,7 @@ func allSpecs() []Spec {
 	specs = append(specs, fctSpecs()...)
 	specs = append(specs, fattreeSpecs()...)
 	specs = append(specs, extensionSpecs()...)
+	specs = append(specs, scenarioSpecs()...)
+	specs = append(specs, calibrateSpecs()...)
 	return specs
 }

@@ -59,6 +59,8 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-rttthresh", "fct-weighted",
 		"analysis-validation", "ablation-average", "pfc",
 		"ablation-markpoint", "fattree", "fattree-incast",
+		"scenario-incast", "scenario-permutation", "scenario-fattree",
+		"calibrate", "flow-scale",
 	}
 	for i := 1; i <= 27; i++ {
 		want = append(want, "fig"+itoa(i))

@@ -1,0 +1,365 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"pmsb/internal/core"
+	"pmsb/internal/ecn"
+	"pmsb/internal/flowsim"
+	"pmsb/internal/netsim"
+	"pmsb/internal/sim"
+	"pmsb/internal/topo"
+	"pmsb/internal/transport"
+	"pmsb/internal/units"
+	"pmsb/internal/workload"
+)
+
+// Calibration scenarios: workloads defined once — as engine-agnostic
+// (topology config, FlowSpec slice) pairs — and runnable on either the
+// packet engine (ground truth) or the flow-level fluid engine
+// (internal/flowsim). Flow IDs are assigned in spec order by both
+// runners (transport.FlowIDGen and flowsim.Start both start at 1), so
+// every ECMP decision lands on the same physical path in both engines;
+// what differs is only the fidelity of what happens along that path.
+//
+// The scenarios are exposed three ways:
+//   - `pmsbsim -experiment scenario-* -engine packet|flow` runs one
+//     scenario on one engine (Options.Engine selects it);
+//   - `pmsbsim -experiment calibrate` runs every scenario on both
+//     engines and reports the FCT percentile relative error — the
+//     number that says how far the fast path can be trusted;
+//   - `pmsbsim -experiment flow-scale` runs a 100k-host fabric on the
+//     flow engine alone, the scale that motivates its existence.
+
+// scenarioDef is one shared scenario.
+type scenarioDef struct {
+	id, title string
+	build     func(quick bool, seed int64) *scenarioNet
+}
+
+// scenarioNet is a built scenario: the workload, the flow-level graph,
+// and a packet-engine runner over the equivalent packet topology.
+type scenarioNet struct {
+	specs    []workload.FlowSpec
+	services int
+	deadline time.Duration
+	graph    *topo.PathGraph
+	packet   func(opt Options, net *scenarioNet) (*engineRun, error)
+}
+
+// engineRun is one engine's view of a scenario run.
+type engineRun struct {
+	// fcts is indexed by spec order; zero means unfinished at deadline.
+	fcts      []time.Duration
+	completed int
+	events    uint64
+	wall      time.Duration
+}
+
+// scenarioProfile is the port profile every scenario fabric uses: DWRR
+// over equal-weight service queues, PMSB per-port marking at the
+// paper's K=12 packets, 250-packet buffers — the same constants the fct
+// sweeps use, and the ones the flow engine's fluid thresholds mirror.
+func scenarioProfile(eng *sim.Engine, services int) topo.PortProfile {
+	return topo.PortProfile{
+		Weights:     topo.EqualWeights(services),
+		NewSched:    topo.DWRRFactory(eng),
+		NewMarker:   func() ecn.Marker { return &core.PMSB{PortK: units.Packets(fctPortK)} },
+		BufferBytes: units.Packets(fctBufferPkts),
+	}
+}
+
+// startPacketFlows launches every spec on the packet engine, recording
+// per-spec FCTs in run.fcts.
+func startPacketFlows(eng *sim.Engine, host func(int) *netsim.Host,
+	specs []workload.FlowSpec, services int, run *engineRun) {
+	var fid transport.FlowIDGen
+	for i, spec := range specs {
+		i := i
+		cfg := transport.Config{InitWindow: fctInitWindow}
+		f := transport.NewFlow(eng, host(spec.Src), host(spec.Dst), fid.Next(),
+			spec.Service%services, spec.Size, cfg, func(s *transport.Sender) {
+				run.fcts[i] = s.FCT()
+				run.completed++
+			})
+		f.Sender.StartAt(spec.Start)
+	}
+}
+
+// runFlowScenario runs the scenario on the flow-level engine with the
+// fluid PMSB marking mirroring the packet profile.
+func runFlowScenario(net *scenarioNet) *engineRun {
+	start := time.Now()
+	run := &engineRun{fcts: make([]time.Duration, len(net.specs))}
+	weights := make([]int, net.services)
+	for i := range weights {
+		weights[i] = 1
+	}
+	eng := sim.NewEngine()
+	fs := flowsim.New(eng, net.graph, flowsim.Config{
+		Marking:    flowsim.PMSB{KBytes: float64(units.Packets(fctPortK))},
+		Weights:    weights,
+		InitWindow: fctInitWindow,
+		OnFinish: func(r flowsim.FlowResult) {
+			run.fcts[r.Index] = r.FCT
+			run.completed++
+		},
+	})
+	fs.Start(net.specs)
+	eng.RunUntil(net.deadline)
+	run.events = eng.Processed()
+	run.wall = time.Since(start)
+	return run
+}
+
+// scenarioDefs enumerates the shared scenarios (the three the
+// calibration acceptance list names).
+func scenarioDefs() []scenarioDef {
+	return []scenarioDef{
+		{
+			id:    "scenario-incast",
+			title: "Calibration scenario: dumbbell incast (16:1, 100KB)",
+			build: buildIncastScenario,
+		},
+		{
+			id:    "scenario-permutation",
+			title: "Calibration scenario: leaf-spine permutation (200KB)",
+			build: buildPermutationScenario,
+		},
+		{
+			id:    "scenario-fattree",
+			title: "Calibration scenario: k=8 fat-tree, web-search CDF at load 0.3",
+			build: buildFatTreeScenario,
+		},
+	}
+}
+
+func buildIncastScenario(quick bool, seed int64) *scenarioNet {
+	senders := 16
+	if quick {
+		senders = 8
+	}
+	cfg := topo.DumbbellConfig{Senders: senders, AccessRate: fctRate}
+	srcs := make([]int, senders)
+	for i := range srcs {
+		srcs[i] = i + 1
+	}
+	specs := workload.Incast(workload.IncastConfig{
+		Receiver: 0,
+		Senders:  srcs,
+		Size:     100_000,
+		Stagger:  time.Microsecond,
+		Services: fattreeServices,
+	})
+	return &scenarioNet{
+		specs:    specs,
+		services: fattreeServices,
+		deadline: 50 * time.Millisecond,
+		graph:    topo.DumbbellPaths(cfg),
+		packet: func(opt Options, net *scenarioNet) (*engineRun, error) {
+			start := time.Now()
+			run := &engineRun{fcts: make([]time.Duration, len(net.specs))}
+			eng := sim.NewEngine()
+			cfg := cfg
+			cfg.Bottleneck = scenarioProfile(eng, net.services)
+			d := topo.NewDumbbell(eng, cfg)
+			host := func(i int) *netsim.Host {
+				if i == 0 {
+					return d.Recv
+				}
+				return d.Senders[i-1]
+			}
+			startPacketFlows(eng, host, net.specs, net.services, run)
+			opt.instrumentEngine(eng)
+			eng.RunUntil(net.deadline)
+			var unclaimed int64
+			unclaimed += d.Recv.UnclaimedPackets()
+			for _, h := range d.Senders {
+				unclaimed += h.UnclaimedPackets()
+			}
+			if rd := d.Switch.RouteDrops(); rd > 0 || unclaimed > 0 {
+				return nil, fmt.Errorf("scenario-incast: fabric sanity violated (routeDrops=%d unclaimed=%d)", rd, unclaimed)
+			}
+			run.events = eng.Processed()
+			opt.observeEngine(eng)
+			run.wall = time.Since(start)
+			return run, nil
+		},
+	}
+}
+
+func buildPermutationScenario(quick bool, seed int64) *scenarioNet {
+	cfg := topo.LeafSpineConfig{Leaves: 4, Spines: 4, HostsPerLeaf: 12, Rate: fctRate}
+	if quick {
+		cfg.HostsPerLeaf = 4
+	}
+	hosts := cfg.Leaves * cfg.HostsPerLeaf
+	specs := workload.Permutation(workload.PermutationConfig{
+		Hosts:    hosts,
+		Dist:     workload.Fixed(200_000),
+		Stagger:  2 * time.Microsecond,
+		Services: fattreeServices,
+		Seed:     seed,
+	})
+	return &scenarioNet{
+		specs:    specs,
+		services: fattreeServices,
+		deadline: 100 * time.Millisecond,
+		graph:    topo.LeafSpinePaths(cfg),
+		packet: func(opt Options, net *scenarioNet) (*engineRun, error) {
+			start := time.Now()
+			run := &engineRun{fcts: make([]time.Duration, len(net.specs))}
+			eng := sim.NewEngine()
+			cfg := cfg
+			cfg.Ports = scenarioProfile(eng, net.services)
+			ls := topo.NewLeafSpine(eng, cfg)
+			startPacketFlows(eng, ls.Host, net.specs, net.services, run)
+			opt.instrumentEngine(eng)
+			eng.RunUntil(net.deadline)
+			if err := leafSpineSanity("scenario-permutation", ls); err != nil {
+				return nil, err
+			}
+			run.events = eng.Processed()
+			opt.observeEngine(eng)
+			run.wall = time.Since(start)
+			return run, nil
+		},
+	}
+}
+
+func buildFatTreeScenario(quick bool, seed int64) *scenarioNet {
+	cfg := topo.FatTreeConfig{
+		K:               fattreeK,
+		Rate:            fctRate,
+		FabricDelaySkew: time.Nanosecond,
+	}
+	hosts := fattreeK * fattreeK * fattreeK / 4
+	numFlows := 300
+	if quick {
+		numFlows = 60
+	}
+	specs := workload.Poisson(workload.PoissonConfig{
+		Load:     0.3,
+		LinkRate: fctRate,
+		Hosts:    hosts,
+		Dist:     workload.WebSearch(),
+		Services: fattreeServices,
+		NumFlows: numFlows,
+		Seed:     seed,
+	})
+	deadline := specs[len(specs)-1].Start + 2*time.Second
+	return &scenarioNet{
+		specs:    specs,
+		services: fattreeServices,
+		deadline: deadline,
+		graph:    topo.FatTreePaths(cfg),
+		packet: func(opt Options, net *scenarioNet) (*engineRun, error) {
+			start := time.Now()
+			run := &engineRun{fcts: make([]time.Duration, len(net.specs))}
+			eng := sim.NewEngine()
+			cfg := cfg
+			cfg.Ports = scenarioProfile(eng, net.services)
+			ft := topo.NewFatTree(eng, cfg)
+			startPacketFlows(eng, ft.Host, net.specs, net.services, run)
+			opt.instrumentEngine(eng)
+			eng.RunUntil(net.deadline)
+			if err := fatTreeSanity("scenario-fattree", ft); err != nil {
+				return nil, err
+			}
+			run.events = eng.Processed()
+			opt.observeEngine(eng)
+			run.wall = time.Since(start)
+			return run, nil
+		},
+	}
+}
+
+func leafSpineSanity(id string, ls *topo.LeafSpine) error {
+	var routeDrops, unclaimed int64
+	for _, sw := range ls.Leaves {
+		routeDrops += sw.RouteDrops()
+	}
+	for _, sw := range ls.Spines {
+		routeDrops += sw.RouteDrops()
+	}
+	for _, h := range ls.Hosts {
+		unclaimed += h.UnclaimedPackets()
+	}
+	if routeDrops > 0 || unclaimed > 0 {
+		return fmt.Errorf("%s: fabric sanity violated (routeDrops=%d unclaimed=%d)", id, routeDrops, unclaimed)
+	}
+	return nil
+}
+
+func fatTreeSanity(id string, ft *topo.FatTree) error {
+	var routeDrops, unclaimed int64
+	for _, sw := range ft.Edges {
+		routeDrops += sw.RouteDrops()
+	}
+	for _, sw := range ft.Aggs {
+		routeDrops += sw.RouteDrops()
+	}
+	for _, sw := range ft.Cores {
+		routeDrops += sw.RouteDrops()
+	}
+	for _, h := range ft.Hosts {
+		unclaimed += h.UnclaimedPackets()
+	}
+	if routeDrops > 0 || unclaimed > 0 {
+		return fmt.Errorf("%s: fabric sanity violated (routeDrops=%d unclaimed=%d)", id, routeDrops, unclaimed)
+	}
+	return nil
+}
+
+// runScenario executes one scenario on the engine Options.Engine
+// selects ("packet" by default, "flow" for the fluid fast path).
+func runScenario(def scenarioDef, opt Options) (*Result, error) {
+	net := def.build(opt.Quick, opt.seed())
+	engine := opt.engine()
+	var (
+		run *engineRun
+		err error
+	)
+	switch engine {
+	case "packet":
+		run, err = net.packet(opt, net)
+	case "flow":
+		run = runFlowScenario(net)
+	default:
+		return nil, fmt.Errorf("%s: unknown engine %q (packet|flow)", def.id, engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: def.id, Title: def.title, Headers: []string{"metric", "value"}}
+	res.AddRow("engine", engine)
+	res.AddRow("flows", fmt.Sprintf("%d", len(net.specs)))
+	res.AddRow("completed", fmt.Sprintf("%d", run.completed))
+	res.AddRow("events", fmt.Sprintf("%d", run.events))
+	sum := fctSummary(run.fcts, nil)
+	if sum.Count() > 0 {
+		res.AddRow("fct-p50-ms", msec(sum.Percentile(50)))
+		res.AddRow("fct-p95-ms", msec(sum.Percentile(95)))
+		res.AddRow("fct-p99-ms", msec(sum.Percentile(99)))
+	}
+	if run.completed < len(net.specs) {
+		res.AddNote("%d of %d flows unfinished at %v", len(net.specs)-run.completed, len(net.specs), net.deadline)
+	}
+	res.AddNote("wall clock: %v", run.wall.Round(time.Millisecond))
+	return res, nil
+}
+
+// scenarioSpecs registers the per-scenario experiments.
+func scenarioSpecs() []Spec {
+	var specs []Spec
+	for _, def := range scenarioDefs() {
+		def := def
+		specs = append(specs, Spec{
+			ID:    def.id,
+			Title: def.title,
+			Run:   func(opt Options) (*Result, error) { return runScenario(def, opt) },
+		})
+	}
+	return specs
+}

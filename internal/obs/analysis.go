@@ -42,8 +42,14 @@ func DepthSummaries(events []Event) (map[QueueKey]*stats.Summary, []QueueKey) {
 		}
 		s.Add(float64(ev.QueueBytes))
 	}
-	keys := make([]QueueKey, 0, len(out))
-	for k := range out {
+	return out, sortedQueueKeys(out)
+}
+
+// sortedQueueKeys extracts a summary map's key set sorted by (node,
+// port, queue).
+func sortedQueueKeys(m map[QueueKey]*stats.Summary) []QueueKey {
+	keys := make([]QueueKey, 0, len(m))
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -55,7 +61,7 @@ func DepthSummaries(events []Event) (map[QueueKey]*stats.Summary, []QueueKey) {
 		}
 		return keys[i].Queue < keys[j].Queue
 	})
-	return out, keys
+	return keys
 }
 
 // DepthTrace extracts the occupancy-versus-time series of one queue

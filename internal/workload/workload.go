@@ -293,3 +293,88 @@ func Poisson(cfg PoissonConfig) []FlowSpec {
 	}
 	return flows
 }
+
+// IncastConfig parametrizes a synchronized fan-in burst.
+type IncastConfig struct {
+	// Receiver is the destination host index.
+	Receiver int
+	// Senders are the source host indices (Receiver excluded by the
+	// caller).
+	Senders []int
+	// Size is the per-sender flow size in bytes.
+	Size int64
+	// Stagger separates consecutive arrivals (0 = fully synchronized).
+	Stagger time.Duration
+	// Services spreads flows round-robin over this many service classes
+	// (<=0 means one).
+	Services int
+}
+
+// Incast generates the classic fan-in workload: every sender ships one
+// flow to the receiver, arrivals Stagger apart in sender order. It is
+// fully deterministic (no randomness), so both engines see the same
+// byte-identical spec slice.
+func Incast(cfg IncastConfig) []FlowSpec {
+	if cfg.Services <= 0 {
+		cfg.Services = 1
+	}
+	flows := make([]FlowSpec, 0, len(cfg.Senders))
+	for i, src := range cfg.Senders {
+		flows = append(flows, FlowSpec{
+			Start:   time.Duration(i) * cfg.Stagger,
+			Src:     src,
+			Dst:     cfg.Receiver,
+			Size:    cfg.Size,
+			Service: i % cfg.Services,
+		})
+	}
+	return flows
+}
+
+// PermutationConfig parametrizes a random permutation traffic matrix.
+type PermutationConfig struct {
+	// Hosts is the host count; every host sends exactly one flow.
+	Hosts int
+	// Dist is the flow size distribution.
+	Dist SizeDist
+	// Stagger separates consecutive arrivals (in host order).
+	Stagger time.Duration
+	// Services spreads flows round-robin over service classes.
+	Services int
+	// Seed seeds the permutation and the size samples.
+	Seed int64
+}
+
+// Permutation generates a derangement-style traffic matrix: host i
+// sends one flow to p(i) where p is a seeded random permutation with no
+// fixed points, the standard all-to-all stress pattern for fabric
+// bisection. Deterministic for a given (Hosts, Seed).
+func Permutation(cfg PermutationConfig) []FlowSpec {
+	if cfg.Hosts < 2 {
+		return nil
+	}
+	if cfg.Services <= 0 {
+		cfg.Services = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	perm := r.Perm(cfg.Hosts)
+	// Resolve fixed points by swapping with a neighbor (cyclically), so
+	// no host talks to itself.
+	for i := 0; i < cfg.Hosts; i++ {
+		if perm[i] == i {
+			j := (i + 1) % cfg.Hosts
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	flows := make([]FlowSpec, 0, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		flows = append(flows, FlowSpec{
+			Start:   time.Duration(i) * cfg.Stagger,
+			Src:     i,
+			Dst:     perm[i],
+			Size:    cfg.Dist.Sample(r),
+			Service: i % cfg.Services,
+		})
+	}
+	return flows
+}
