@@ -23,6 +23,11 @@ ci:
 		-progress=100ms -runtimestats ci_runtime.rtstats > /dev/null
 	$(GO) run ./cmd/pmsbstat -runtime ci_runtime.rtstats > /dev/null
 	@rm -f ci_runtime.rtstats
+	# k=32 smoke: the arena-backed 49k-port fabric builds with zero slab
+	# overflow, wires correctly, and a short sharded horizon stays
+	# byte-identical to the serial run.
+	$(GO) test -race -count=1 -run 'TestFatTree32' ./internal/topo/
+	$(GO) test -race -count=1 -run TestDifferentialFatTree32ShortHorizon .
 
 build:
 	$(GO) build ./...
@@ -37,7 +42,7 @@ test-short:
 	$(GO) test -short ./...
 
 # Key hot-path benchmarks, recorded as JSON so the perf trajectory is
-# tracked from PR to PR (BENCH_1.json was the first point, BENCH_8.json
+# tracked from PR to PR (BENCH_1.json was the first point, BENCH_9.json
 # the current one; benchjson prints the delta against BENCH_BASE but
 # never fails the build — timings on shared machines are a trend line,
 # not a gate). Each benchmark runs BENCHCOUNT times and benchjson keeps
@@ -51,11 +56,11 @@ test-short:
 # is anchored, so the sharded fat-tree and traced benchmarks must be
 # listed on their own — the BenchmarkFatTree alternative does not
 # cover them.
-KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkFatTree16Sharded|BenchmarkFatTreeTraced|BenchmarkFlowSimFatTree|BenchmarkFatTreeBuild|BenchmarkTraceEncodeJSONL|BenchmarkTraceEncodeBinary|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
+KEY_BENCHES ?= ^(BenchmarkPacketForwarding|BenchmarkDCTCPFlow|BenchmarkLeafSpineFlows|BenchmarkFatTree|BenchmarkFatTreeSharded|BenchmarkFatTree16Sharded|BenchmarkFatTree32Sharded|BenchmarkFatTreeTraced|BenchmarkFlowSimFatTree|BenchmarkFatTreeBuild|BenchmarkTraceEncodeJSONL|BenchmarkTraceEncodeBinary|BenchmarkEngineChurn|BenchmarkPMSBDecision|BenchmarkMQECNDecision)$$
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_8.json
-BENCH_BASE ?= BENCH_7.json
+BENCH_OUT ?= BENCH_9.json
+BENCH_BASE ?= BENCH_8.json
 
 bench:
 	$(GO) test -run '^$$' -bench "$(KEY_BENCHES)" -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . \
@@ -64,8 +69,8 @@ bench:
 	# to the benchmark numbers, so perf regressions come with the
 	# coordinator's own accounting of where the time went.
 	-$(GO) run ./cmd/pmsbsim -experiment fattree -shards 4 -par channel-steal \
-		-runtimestats BENCH_8.rtstats > /dev/null && \
-		$(GO) run ./cmd/pmsbstat -runtime BENCH_8.rtstats
+		-runtimestats BENCH_9.rtstats > /dev/null && \
+		$(GO) run ./cmd/pmsbstat -runtime BENCH_9.rtstats
 
 # Every benchmark (one per paper table/figure plus engine micro-benches).
 bench-all:

@@ -352,6 +352,44 @@ func BenchmarkFatTree16Sharded(b *testing.B) {
 	}
 }
 
+// BenchmarkFatTree32Sharded is the memory-lean fabric's headline row:
+// k=32 (8192 hosts, ~49k ports) built arena-backed with slab-carved
+// DWRR and a shared marker, serial path vs 8-way pod-sharded under the
+// batched slab handoff. The workload is the same 2048-flow mix as the
+// k=8/k=16 rows, so the delta across rows is fabric scale, not traffic.
+func BenchmarkFatTree32Sharded(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("channel/%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runFatTree32ShardedOnce(b, shards)
+			}
+		})
+	}
+}
+
+// runFatTree32ShardedOnce builds the k=32 fabric with the memory-lean
+// port profile (the one the fattree32 experiment and the k=32
+// differential gate run) and drives the standard flow mix.
+func runFatTree32ShardedOnce(b *testing.B, shards int) {
+	b.Helper()
+	coord := sim.NewCoordinator()
+	coord.SetMode(sim.ParChannel)
+	ft, _ := topo.NewFatTreeSharded(coord, topo.FatTreeConfig{
+		K: 32,
+		Ports: topo.PortProfile{
+			Weights:       topo.EqualWeights(8),
+			NewSchedBlock: topo.DWRRBlocks(),
+			SharedMarker:  &core.PMSB{PortK: units.Packets(12)},
+			BufferBytes:   units.Packets(250),
+		},
+	}, shards)
+	if n := ft.ArenaOverflow(); n != 0 {
+		b.Fatalf("arena overflowed by %d objects", n)
+	}
+	driveFatTreeFlows(b, ft, coord, nil)
+}
+
 func runFatTreeShardedOnce(b *testing.B, k, shards int, mode sim.ParMode, steal bool) {
 	b.Helper()
 	coord := sim.NewCoordinator()
@@ -632,10 +670,10 @@ func BenchmarkFatTreeBuild(b *testing.B) {
 				ft = topo.NewFatTree(sim.NewEngine(), topo.FatTreeConfig{
 					K: k,
 					Ports: topo.PortProfile{
-						Weights:     topo.EqualWeights(8),
-						NewSched:    topo.FIFOFactory(),
-						NewMarker:   func() ecn.Marker { return &core.PMSB{PortK: units.Packets(12)} },
-						BufferBytes: units.Packets(250),
+						Weights:       topo.EqualWeights(8),
+						NewSchedBlock: topo.FIFOBlocks(),
+						SharedMarker:  &core.PMSB{PortK: units.Packets(12)},
+						BufferBytes:   units.Packets(250),
 					},
 				})
 			}

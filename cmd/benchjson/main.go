@@ -8,8 +8,10 @@
 // runners commonly inflates single runs by 5-15%.
 //
 // With -baseline FILE the run is also compared against an earlier
-// report: per-benchmark ns/op deltas are printed and regressions beyond
-// -tolerance are flagged. The comparison is fail-soft — it never sets a
+// report: per-benchmark ns/op deltas are printed, and regressions
+// beyond -tolerance in ns/op, B/op or allocs/op are flagged (the memory
+// metrics are near-deterministic, so those flags are trustworthy even
+// on noisy runners). The comparison is fail-soft — it never sets a
 // non-zero exit status — because shared runners make timings noisy;
 // treat it as a trend line, not a gate.
 //
@@ -114,8 +116,8 @@ func run(in io.Reader, echo io.Writer, outPath, baselinePath string, tolerance f
 	return nil
 }
 
-// compare prints per-benchmark ns/op deltas against an earlier report.
-// Every failure mode (missing file, bad JSON, new benchmark) degrades
+// compare prints per-benchmark ns/op deltas against an earlier report
+// and flags time and memory regressions. Every failure mode (missing file, bad JSON, new benchmark) degrades
 // to a note instead of an error so a perf trend can never block a
 // functional build.
 func compare(echo io.Writer, results map[string]Metrics, baselinePath string, tolerance float64) {
@@ -149,10 +151,33 @@ func compare(echo io.Writer, results map[string]Metrics, baselinePath string, to
 			flag = "  ** regression **"
 			regressions++
 		}
+		// Memory metrics regress too — and unlike timings they are
+		// near-deterministic, so a flagged growth is real, not runner
+		// noise. Held to the same fail-soft tolerance; a benchmark whose
+		// baseline sat at zero (the zero-allocation guards) flags on any
+		// growth at all.
+		for _, mem := range []struct {
+			unit      string
+			cur, base float64
+		}{
+			{"B/op", cur.BytesPerOp, b.BytesPerOp},
+			{"allocs/op", cur.AllocsPerOp, b.AllocsPerOp},
+		} {
+			switch {
+			case mem.base == 0 && mem.cur > 0:
+				flag += fmt.Sprintf("  ** %s regression: 0 -> %.0f **", mem.unit, mem.cur)
+				regressions++
+			case mem.base > 0:
+				if d := (mem.cur - mem.base) / mem.base * 100; d > tolerance {
+					flag += fmt.Sprintf("  ** %s regression: %+.1f%% **", mem.unit, d)
+					regressions++
+				}
+			}
+		}
 		fmt.Fprintf(echo, "  %-40s %10.2f ns/op  %+6.1f%%%s\n", n, cur.NsPerOp, delta, flag)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(echo, "benchjson: %d benchmark(s) beyond tolerance — investigate before trusting this machine's numbers\n", regressions)
+		fmt.Fprintf(echo, "benchjson: %d regression flag(s) beyond tolerance — investigate before trusting this machine's numbers\n", regressions)
 	}
 }
 

@@ -197,7 +197,31 @@ func TestBaselineCompare(t *testing.T) {
 	if !strings.Contains(out, "(no baseline)") {
 		t.Fatalf("new benchmark not noted:\n%s", out)
 	}
-	if !strings.Contains(out, "1 benchmark(s) beyond tolerance") {
+	if !strings.Contains(out, "1 regression flag(s) beyond tolerance") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+
+	// Memory regressions flag independently of timing: same ns/op, but
+	// B/op and allocs/op grew past tolerance (and from a zero baseline,
+	// which must flag on any growth).
+	echo.Reset()
+	memBase := filepath.Join(dir, "membase.json")
+	if err := os.WriteFile(memBase,
+		[]byte(`{"BenchmarkPacketForwarding":{"iterations":1,"ns_per_op":255.2,"bytes_per_op":100,"allocs_per_op":0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in = "BenchmarkPacketForwarding-8 1000 255.2 ns/op 200 B/op 5 allocs/op\n"
+	if err := run(strings.NewReader(in), &echo, "", memBase, 10); err != nil {
+		t.Fatalf("comparison must be fail-soft: %v", err)
+	}
+	out = echo.String()
+	if !strings.Contains(out, "** B/op regression: +100.0% **") {
+		t.Fatalf("B/op regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "** allocs/op regression: 0 -> 5 **") {
+		t.Fatalf("allocs/op zero-baseline regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "2 regression flag(s) beyond tolerance") {
 		t.Fatalf("summary line missing:\n%s", out)
 	}
 

@@ -13,12 +13,13 @@
 // run — are merged into one deterministic timeline by (time, argument
 // order, sequence number) before analysis.
 //
-// When only the count and depth sections are requested
-// (-marks=false -top 0) and every input is binary, the reduction
+// When the per-flow table is disabled (-top 0) and every input is
+// binary, the reduction — counts, depths and the mark-rate timeline —
 // streams column-by-column over the trace chunks without materializing
-// events (obs.StreamStats): memory stays proportional to the topology,
-// not the trace, so full-run spill traces of any size analyze in one
-// pass. The output is identical to the materializing path.
+// events (obs.StreamStats): memory stays proportional to the topology
+// plus the timeline's bins, not the trace, so full-run spill traces of
+// any size analyze in one pass. The output is identical to the
+// materializing path.
 //
 // Examples:
 //
@@ -45,6 +46,7 @@ import (
 
 	"pmsb/internal/obs"
 	obsrt "pmsb/internal/obs/runtime"
+	"pmsb/internal/stats"
 )
 
 func main() {
@@ -96,10 +98,16 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-until %v precedes -since %v", *until, *since)
 	}
 
-	// Count/depth-only reports over binary traces stream the reduction
-	// instead of materializing events.
-	if !*marks && *top == 0 && allBinary(fs.Args()) {
-		return streamReport(stdout, fs.Args(), lo, hi, *counts, *depth)
+	// Reports without the per-flow table stream the reductions over
+	// binary traces instead of materializing events (counts, depths and
+	// the mark-rate timeline all fold order-insensitively; only the flow
+	// table needs the full merged event stream).
+	if *top == 0 && allBinary(fs.Args()) {
+		markBin := time.Duration(0)
+		if *marks {
+			markBin = *bin
+		}
+		return streamReport(stdout, fs.Args(), lo, hi, *counts, *depth, markBin)
 	}
 
 	// Each file's format is auto-detected; several files (per-shard
@@ -147,12 +155,13 @@ func allBinary(paths []string) bool {
 	return true
 }
 
-// streamReport runs the count/depth reductions column-wise over binary
-// traces without materializing events, printing the same sections the
-// materializing report would.
-func streamReport(w io.Writer, paths []string, since, until time.Duration, counts, depth bool) error {
+// streamReport runs the count/depth/mark-rate reductions column-wise
+// over binary traces without materializing events, printing the same
+// sections the materializing report would. markBin 0 omits the
+// mark-rate section.
+func streamReport(w io.Writer, paths []string, since, until time.Duration, counts, depth bool, markBin time.Duration) error {
 	st := obs.NewStreamStats(obs.StreamOptions{
-		Counts: counts, Depths: depth, Since: since, Until: until,
+		Counts: counts, Depths: depth, MarkBin: markBin, Since: since, Until: until,
 	})
 	for _, path := range paths {
 		if err := reduceTrace(st, path); err != nil {
@@ -197,7 +206,32 @@ func streamReport(w io.Writer, paths []string, since, until time.Duration, count
 				s.Percentile(50), s.Percentile(90), s.Percentile(99), s.Max())
 		}
 	}
+
+	if markBin > 0 {
+		printMarkTimeline(w, st.Marks, st.Dequeues, markBin)
+	}
 	return nil
+}
+
+// printMarkTimeline renders the mark-rate section from its two binned
+// series; both report paths share it so the streamed and materializing
+// outputs stay byte-identical.
+func printMarkTimeline(w io.Writer, ms, dq *stats.TimeSeries, bin time.Duration) {
+	fmt.Fprintf(w, "\n## mark rate per %s bin (marks / dequeued packets)\n", bin)
+	fmt.Fprintln(w, "t_ms\tmarks\tdequeues\tmark_frac")
+	bins := dq.Bins()
+	if ms.Bins() > bins {
+		bins = ms.Bins()
+	}
+	for i := 0; i < bins; i++ {
+		m, d := ms.Value(i), dq.Value(i)
+		frac := 0.0
+		if d > 0 {
+			frac = m / d
+		}
+		fmt.Fprintf(w, "%.3f\t%.0f\t%.0f\t%.3f\n",
+			float64(int64(bin)*int64(i))/1e6, m, d, frac)
+	}
 }
 
 // reduceTrace folds one binary trace file into the accumulator.
@@ -279,22 +313,8 @@ func report(w io.Writer, events []obs.Event, bin time.Duration, top int, depth, 
 	}
 
 	if marks {
-		fmt.Fprintf(w, "\n## mark rate per %s bin (marks / dequeued packets)\n", bin)
-		fmt.Fprintln(w, "t_ms\tmarks\tdequeues\tmark_frac")
 		ms, dq := obs.MarkSeries(events, bin)
-		bins := dq.Bins()
-		if ms.Bins() > bins {
-			bins = ms.Bins()
-		}
-		for i := 0; i < bins; i++ {
-			m, d := ms.Value(i), dq.Value(i)
-			frac := 0.0
-			if d > 0 {
-				frac = m / d
-			}
-			fmt.Fprintf(w, "%.3f\t%.0f\t%.0f\t%.3f\n",
-				float64(int64(bin)*int64(i))/1e6, m, d, frac)
-		}
+		printMarkTimeline(w, ms, dq, bin)
 	}
 
 	if top > 0 {

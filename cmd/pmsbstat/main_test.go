@@ -179,26 +179,35 @@ func TestStreamedReport(t *testing.T) {
 	}
 	bf.Close()
 
-	flags := []string{"-marks=false", "-top", "0"}
-	jout, err := capture(t, append(flags, jsonlPath)...)
-	if err != nil {
-		t.Fatalf("materializing report: %v", err)
-	}
-	bout, err := capture(t, append(flags, binPath)...)
-	if err != nil {
-		t.Fatalf("streaming report: %v", err)
-	}
-	if jout != bout {
-		t.Errorf("streamed report differs from materialized:\nmaterialized:\n%s\nstreamed:\n%s", jout, bout)
+	// Both flag shapes take the streaming path on the binary input: with
+	// and without the mark-rate timeline (the timeline folds
+	// order-insensitively, so it streams too).
+	flags := []string{"-top", "0"}
+	for _, fl := range [][]string{
+		{"-marks=false", "-top", "0"},
+		{"-top", "0"},
+		{"-bin", "500us", "-top", "0"},
+	} {
+		jout, err := capture(t, append(append([]string{}, fl...), jsonlPath)...)
+		if err != nil {
+			t.Fatalf("materializing report %v: %v", fl, err)
+		}
+		bout, err := capture(t, append(append([]string{}, fl...), binPath)...)
+		if err != nil {
+			t.Fatalf("streaming report %v: %v", fl, err)
+		}
+		if jout != bout {
+			t.Errorf("streamed report %v differs from materialized:\nmaterialized:\n%s\nstreamed:\n%s", fl, jout, bout)
+		}
 	}
 
 	// The range flags apply on the streaming path too.
 	ranged := append([]string{"-since", "2ms", "-until", "7ms"}, flags...)
-	jout, err = capture(t, append(ranged, jsonlPath)...)
+	jout, err := capture(t, append(ranged, jsonlPath)...)
 	if err != nil {
 		t.Fatalf("materializing ranged report: %v", err)
 	}
-	bout, err = capture(t, append(ranged, binPath)...)
+	bout, err := capture(t, append(ranged, binPath)...)
 	if err != nil {
 		t.Fatalf("streaming ranged report: %v", err)
 	}

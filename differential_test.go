@@ -677,3 +677,102 @@ func TestDifferentialLeafSpineWorkload(t *testing.T) {
 	}
 	assertIdenticalRuns(t, "leafspine", heap, cal)
 }
+
+// runFatTree32 drives a short-horizon workload on the k=32 (8192-host,
+// ~49k-port) arena-built fabric: 64 cross-pod flows, 2 ms horizon. The
+// port profile is the memory-lean one the fattree32 experiment and the
+// k=32 benchmarks use — slab-carved DWRR, one shared stateless marker —
+// so this gate covers the exact construction path the scale target
+// ships. Full-length differentials stay at k <= 16; at this size the
+// build dominates and a short horizon already fingerprints the event
+// order across serial and sharded runs (observability: edge+agg of the
+// first and last pod, both pod-local on every partition).
+func runFatTree32(t *testing.T, shards int, v parVariant) workloadResult {
+	t.Helper()
+	const k, pods = 32, 32
+	hostsPerPod := (k / 2) * (k / 2) // 256
+	nHosts := k * k * k / 4
+	cfg := topo.FatTreeConfig{
+		K:               k,
+		FabricDelaySkew: time.Nanosecond,
+		Ports: topo.PortProfile{
+			Weights:       topo.EqualWeights(4),
+			NewSchedBlock: topo.DWRRBlocks(),
+			SharedMarker:  &core.PMSB{PortK: units.Packets(12)},
+			BufferBytes:   units.Packets(250),
+		},
+	}
+	var (
+		ft    *topo.FatTree
+		eng   *sim.Engine
+		coord *sim.Coordinator
+	)
+	if shards == 0 {
+		eng = sim.NewEngine()
+		ft = topo.NewFatTree(eng, cfg)
+	} else {
+		coord = sim.NewCoordinator()
+		coord.SetMode(v.mode)
+		coord.SetWorkStealing(v.steal)
+		ft, _ = topo.NewFatTreeSharded(coord, cfg, shards)
+	}
+	if n := ft.ArenaOverflow(); n != 0 {
+		t.Fatalf("k=32 arena overflowed by %d objects: the spec under-reserves", n)
+	}
+
+	busA, busB := obs.NewBus(1<<14), obs.NewBus(1<<14)
+	half := k / 2
+	ft.Edges[0].Observe(busA)
+	ft.Aggs[0].Observe(busA)
+	ft.Edges[(pods-1)*half].Observe(busB)
+	ft.Aggs[(pods-1)*half].Observe(busB)
+
+	var fid transport.FlowIDGen
+	var flows []*transport.Flow
+	for i := 0; i < 64; i++ {
+		src := (i * 7 * hostsPerPod / 4) % nHosts
+		dst := (src + hostsPerPod + i*11) % nHosts
+		if dst/hostsPerPod == src/hostsPerPod {
+			dst = (dst + hostsPerPod) % nHosts
+		}
+		f := transport.NewFlow(ft.Eng, ft.Hosts[src], ft.Hosts[dst], fid.Next(), i%4,
+			30_000, transport.Config{InitWindow: 16}, nil)
+		f.Sender.StartAt(time.Duration(i) * 2 * time.Microsecond)
+		flows = append(flows, f)
+	}
+	var res workloadResult
+	if coord != nil {
+		coord.RunUntil(2 * time.Millisecond)
+		res.processed = coord.Processed()
+	} else {
+		eng.RunUntil(2 * time.Millisecond)
+		res.processed = eng.Processed()
+	}
+	for _, f := range flows {
+		if !f.Sender.Finished() {
+			t.Fatalf("fattree32 flow %d did not finish inside the horizon", f.Sender.Flow())
+		}
+		res.fcts = append(res.fcts, f.Sender.FCT())
+	}
+	res.trace = twoBusTrace(t, busA, busB)
+	return res
+}
+
+// The k=32 short-horizon gate: the arena-built fabric must be
+// byte-identical serial vs 8-way pod-sharded (the batched slab handoff
+// path), and self-deterministic across two identical work-stealing
+// runs.
+func TestDifferentialFatTree32ShortHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=32 fabric build is too heavy for -short")
+	}
+	serial := runFatTree32(t, 0, parVariant{})
+	if len(serial.trace) == 0 {
+		t.Fatal("empty trace: the workload recorded nothing")
+	}
+	assertIdenticalRuns(t, "fattree32 serial-vs-channel@8", serial,
+		runFatTree32(t, 8, parVariants[1]))
+	a := runFatTree32(t, 8, parVariants[2])
+	assertIdenticalRuns(t, "fattree32 steal-vs-steal@8", a,
+		runFatTree32(t, 8, parVariants[2]))
+}

@@ -58,7 +58,7 @@ func TestRegistryComplete(t *testing.T) {
 		"pool", "ablation-portk", "ablation-filter", "incast",
 		"ablation-rttthresh", "fct-weighted",
 		"analysis-validation", "ablation-average", "pfc",
-		"ablation-markpoint", "fattree", "fattree-incast",
+		"ablation-markpoint", "fattree", "fattree-incast", "fattree32",
 		"scenario-incast", "scenario-permutation", "scenario-fattree",
 		"calibrate", "flow-scale",
 	}

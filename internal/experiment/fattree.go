@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"pmsb/internal/core"
-	"pmsb/internal/ecn"
 	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
@@ -35,24 +34,27 @@ import (
 
 const (
 	fattreeK        = 8
-	fattreeHostsPP  = 16 // hosts per pod = (k/2)^2
 	fattreeServices = 4
 	fattreeDeadline = 50 * time.Millisecond
 )
 
-// fattreeConfig is the shared port/fabric profile: DWRR scheduling with
-// PMSB per-port marking, the paper's 250-packet port buffer, and a
-// nanosecond fabric-delay skew so no two cross-shard arrivals can tie
-// (the precondition for shard-count-invariant results).
-func fattreeConfig() topo.FatTreeConfig {
+// fattreeConfig is the shared port/fabric profile for a k-ary tree:
+// DWRR scheduling carved from per-shard slabs, one shared (stateless)
+// PMSB marker, the paper's 250-packet port buffer, and a nanosecond
+// fabric-delay skew so no two cross-shard arrivals can tie (the
+// precondition for shard-count-invariant results). The slab/shared
+// profile is what keeps the k=32 (49k-port) fabric buildable in a few
+// MB; the k=8 differential suite gates its behavioral equivalence with
+// the per-port factories.
+func fattreeConfig(k int) topo.FatTreeConfig {
 	return topo.FatTreeConfig{
-		K:               fattreeK,
+		K:               k,
 		FabricDelaySkew: time.Nanosecond,
 		Ports: topo.PortProfile{
-			Weights:      topo.EqualWeights(fattreeServices),
-			NewSchedWith: topo.DWRRSched,
-			NewMarker:    func() ecn.Marker { return &core.PMSB{PortK: units.Packets(fctPortK)} },
-			BufferBytes:  units.Packets(fctBufferPkts),
+			Weights:       topo.EqualWeights(fattreeServices),
+			NewSchedBlock: topo.DWRRBlocks(),
+			SharedMarker:  &core.PMSB{PortK: units.Packets(fctPortK)},
+			BufferBytes:   units.Packets(fctBufferPkts),
 		},
 	}
 }
@@ -65,48 +67,43 @@ type fattreeFlow struct {
 
 // fattreeCrossPod is the permutation-ish cross-pod workload (the
 // differential tests' shape): deterministic src/dst striding that
-// touches every pod.
-func fattreeCrossPod(quick bool) []fattreeFlow {
-	n := 64
-	if quick {
-		n = 32
-	}
-	nHosts := fattreeK * fattreeK * fattreeK / 4
+// touches every pod. n flows over the k-ary tree's k^3/4 hosts.
+func fattreeCrossPod(k, n int) []fattreeFlow {
+	hostsPP := (k / 2) * (k / 2)
+	nHosts := k * k * k / 4
 	flows := make([]fattreeFlow, 0, n)
 	for i := 0; i < n; i++ {
 		src := (i * 7) % nHosts
-		dst := (src + fattreeHostsPP + i*11) % nHosts
-		if dst/fattreeHostsPP == src/fattreeHostsPP {
-			dst = (dst + fattreeHostsPP) % nHosts
+		dst := (src + hostsPP + i*11) % nHosts
+		if dst/hostsPP == src/hostsPP {
+			dst = (dst + hostsPP) % nHosts
 		}
 		flows = append(flows, fattreeFlow{src: src, dst: dst, size: 50_000})
 	}
 	return flows
 }
 
-// fattreeIncast is the skewed workload: four senders in each of pods
-// 1..7 converge on host 0 in pod 0.
-func fattreeIncast(quick bool) []fattreeFlow {
-	perPod := 4
-	if quick {
-		perPod = 2
-	}
+// fattreeIncast is the skewed workload: perPod senders in each of pods
+// 1..k-1 converge on host 0 in pod 0.
+func fattreeIncast(k, perPod int) []fattreeFlow {
+	hostsPP := (k / 2) * (k / 2)
 	var flows []fattreeFlow
-	for p := 1; p < fattreeK; p++ {
+	for p := 1; p < k; p++ {
 		for j := 0; j < perPod; j++ {
-			flows = append(flows, fattreeFlow{src: p*fattreeHostsPP + j*3, dst: 0, size: 30_000})
+			flows = append(flows, fattreeFlow{src: p*hostsPP + j*3, dst: 0, size: 30_000})
 		}
 	}
 	return flows
 }
 
-// runFatTree builds the fabric (serial or pod-sharded per opt), starts
-// the fixed workload, and reports completions and FCT percentiles.
-func runFatTree(id, title string, flows []fattreeFlow, opt Options) (*Result, error) {
-	cfg := fattreeConfig()
+// runFatTree builds the k-ary fabric (serial or pod-sharded per opt),
+// starts the fixed workload, and reports completions and FCT
+// percentiles.
+func runFatTree(id, title string, k int, flows []fattreeFlow, opt Options) (*Result, error) {
+	cfg := fattreeConfig(k)
 	shards := opt.shards()
-	if shards > fattreeK {
-		shards = fattreeK
+	if shards > k {
+		shards = k
 	}
 	var (
 		ft    *topo.FatTree
@@ -221,18 +218,43 @@ func fattreeSpecs() []Spec {
 			ID:    "fattree",
 			Title: "k=8 fat-tree, cross-pod permutation traffic (PMSB + DWRR)",
 			Run: func(opt Options) (*Result, error) {
+				n := 64
+				if opt.Quick {
+					n = 32
+				}
 				return runFatTree("fattree",
 					"k=8 fat-tree, cross-pod permutation traffic (PMSB + DWRR)",
-					fattreeCrossPod(opt.Quick), opt)
+					fattreeK, fattreeCrossPod(fattreeK, n), opt)
 			},
 		},
 		{
 			ID:    "fattree-incast",
 			Title: "k=8 fat-tree, pods 1..7 incast into pod 0 (shard-skew scenario)",
 			Run: func(opt Options) (*Result, error) {
+				perPod := 4
+				if opt.Quick {
+					perPod = 2
+				}
 				return runFatTree("fattree-incast",
 					"k=8 fat-tree, pods 1..7 incast into pod 0 (shard-skew scenario)",
-					fattreeIncast(opt.Quick), opt)
+					fattreeK, fattreeIncast(fattreeK, perPod), opt)
+			},
+		},
+		{
+			ID:    "fattree32",
+			Title: "k=32 fat-tree (8192 hosts, 49k ports), cross-pod permutation traffic",
+			Run: func(opt Options) (*Result, error) {
+				// The arena-backed builder's headline scale: ~49k ports in a
+				// few slab allocations. The workload is a wider permutation
+				// stripe (one flow per pod pair's worth of striding) so every
+				// pod — and, sharded, every shard — carries traffic.
+				n := 256
+				if opt.Quick {
+					n = 64
+				}
+				return runFatTree("fattree32",
+					"k=32 fat-tree (8192 hosts, 49k ports), cross-pod permutation traffic",
+					32, fattreeCrossPod(32, n), opt)
 			},
 		},
 	}

@@ -7,6 +7,7 @@ import (
 
 	"pmsb/internal/core"
 	"pmsb/internal/ecn"
+	"pmsb/internal/flowsim"
 	"pmsb/internal/obs"
 	"pmsb/internal/pkt"
 	"pmsb/internal/sim"
@@ -34,10 +35,15 @@ const (
 )
 
 // fctScheme bundles a marking scheme's fabric-wide configuration.
+// fluid, when non-nil, is the scheme's flow-level (fluid) counterpart,
+// which the -engine flow preview runs instead of the packet fabric;
+// schemes without one (TCN's sojourn-time marking has no fluid
+// equivalent) are skipped there with a note.
 type fctScheme struct {
 	name      string
 	marker    topo.MarkerFactory
 	filter    func() transport.Filter
+	fluid     flowsim.Marking
 	roundOnly bool // requires a round-based scheduler (MQ-ECN)
 }
 
@@ -46,15 +52,20 @@ func fctSchemes() []fctScheme {
 		{
 			name:   "pmsb",
 			marker: func() ecn.Marker { return &core.PMSB{PortK: units.Packets(fctPortK)} },
+			fluid:  flowsim.PMSB{KBytes: float64(units.Packets(fctPortK))},
 		},
 		{
 			name:   "pmsb(e)",
 			marker: func() ecn.Marker { return &ecn.PerPort{K: units.Packets(fctPortK)} },
 			filter: func() transport.Filter { return &core.PMSBe{RTTThreshold: fctPMSBeRTT} },
+			// The RTT-threshold filter lives in the transport; the fluid
+			// preview keeps the per-port marking half of the scheme.
+			fluid: flowsim.PerPort{KBytes: float64(units.Packets(fctPortK))},
 		},
 		{
 			name:      "mq-ecn",
 			marker:    func() ecn.Marker { return mqecnFor(units.Packets(fctMQECNK), fctRate, ecn.AtEnqueue) },
+			fluid:     flowsim.MQECN{KBytes: float64(units.Packets(fctMQECNK))},
 			roundOnly: true,
 		},
 		{
@@ -98,15 +109,21 @@ func fctCacheKey(schedName string, opt Options) string {
 	// independent events, so different counts are distinct cells. The
 	// windowing protocol is also keyed — not because results differ
 	// (they are byte-identical across protocols), but so a -par A/B in
-	// one process really re-simulates instead of hitting the cache.
-	return fmt.Sprintf("%s/quick=%v/seed=%d/rep=%d/shards=%d/par=%v/steal=%v",
-		schedName, opt.Quick, opt.seed(), opt.repeats(), opt.shards(), opt.Par, opt.Steal)
+	// one process really re-simulates instead of hitting the cache. The
+	// engine is keyed because the fluid preview and the packet ground
+	// truth are different simulations entirely.
+	return fmt.Sprintf("%s/engine=%s/quick=%v/seed=%d/rep=%d/shards=%d/par=%v/steal=%v",
+		schedName, opt.engine(), opt.Quick, opt.seed(), opt.repeats(), opt.shards(), opt.Par, opt.Steal)
 }
 
 // runFCTOnce simulates one (scheduler, scheme, load) cell and returns
 // the FCT metrics. opt is only consulted for manifest accounting; the
-// cell's randomness comes entirely from seed.
+// cell's randomness comes entirely from seed. With -engine flow the
+// cell runs on the fluid fast path instead of the packet fabric.
 func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed int64, opt Options) *fctMetrics {
+	if opt.engine() == "flow" {
+		return runFCTFlowOnce(sc, load, numFlows, seed, opt)
+	}
 	lsCfg := topo.LeafSpineConfig{
 		Rate: fctRate,
 		Ports: topo.PortProfile{
@@ -248,6 +265,56 @@ func runFCTOnce(schedName string, sc fctScheme, load float64, numFlows int, seed
 	return m
 }
 
+// runFCTFlowOnce is the flow-level (fluid) preview of one sweep cell:
+// the identical Poisson workload over the same 48-host leaf-spine, run
+// on flowsim with the scheme's fluid marking counterpart in seconds
+// instead of minutes. Schedulers collapse in the fluid model (DWRR and
+// WFQ both converge to weighted max-min shares), so both sweeps produce
+// the same preview; the packet engine remains the ground truth and the
+// calibrate experiment quantifies the gap.
+func runFCTFlowOnce(sc fctScheme, load float64, numFlows int, seed int64, opt Options) *fctMetrics {
+	lsCfg := topo.LeafSpineConfig{Rate: fctRate}
+	graph := topo.LeafSpinePaths(lsCfg)
+	specs := workload.Poisson(workload.PoissonConfig{
+		Load:     load,
+		LinkRate: fctRate,
+		Hosts:    graph.Hosts,
+		Dist:     workload.WebSearch(),
+		Services: fctServiceCnt,
+		NumFlows: numFlows,
+		Seed:     seed,
+	})
+	m := &fctMetrics{total: len(specs)}
+	weights := make([]int, fctServiceCnt)
+	for i := range weights {
+		weights[i] = 1
+	}
+	eng := sim.NewEngine()
+	fs := flowsim.New(eng, graph, flowsim.Config{
+		Marking:    sc.fluid,
+		Weights:    weights,
+		InitWindow: fctInitWindow,
+		OnFinish: func(r flowsim.FlowResult) {
+			fct := r.FCT.Seconds()
+			m.all.Add(fct)
+			switch workload.Classify(r.Spec.Size) {
+			case workload.Small:
+				m.small.Add(fct)
+			case workload.Large:
+				m.large.Add(fct)
+			default:
+				m.medium.Add(fct)
+			}
+			m.completed++
+		},
+	})
+	fs.Start(specs)
+	opt.instrumentEngine(eng)
+	eng.RunUntil(specs[len(specs)-1].Start + 2*time.Second)
+	opt.observeEngine(eng)
+	return m
+}
+
 // mergeFCT pools the per-seed samples into one metrics set (the
 // percentile columns then reflect the pooled distribution) and sums the
 // completion counters.
@@ -335,9 +402,17 @@ func computeFCTSweep(schedName string, opt Options) (*Result, error) {
 		m      *fctMetrics
 	}
 	var cells []cell
+	flowPreview := opt.engine() == "flow"
+	if flowPreview {
+		res.AddNote("flow-engine preview: fluid max-min shares with %s fluid marking; packet engine remains the ground truth (see calibrate)", schedName)
+	}
 	for _, sc := range schemes {
 		if sc.roundOnly && schedName != "dwrr" {
 			res.AddNote("%s excluded: it only supports round-based schedulers", sc.name)
+			continue
+		}
+		if flowPreview && sc.fluid == nil {
+			res.AddNote("%s excluded from the flow preview: no fluid marking counterpart", sc.name)
 			continue
 		}
 		for _, load := range fctLoads(opt) {

@@ -123,8 +123,8 @@ func TestPortSendZeroAllocUnobserved(t *testing.T) {
 	eng := sim.NewEngine()
 	link := NewLink(eng, 100*units.Gbps, 0, releaseSink{})
 	port := NewPort(eng, link, PortConfig{Sched: sched.NewFIFO()})
-	if port.probe != nil {
-		t.Fatal("new port must start unobserved")
+	if port.ext != nil {
+		t.Fatal("new port must start unobserved (no extension block)")
 	}
 	for i := 0; i < 512; i++ {
 		p := pkt.Get()

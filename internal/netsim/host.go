@@ -19,26 +19,26 @@ type HandlerFunc func(p *pkt.Packet)
 func (f HandlerFunc) Handle(p *pkt.Packet) { f(p) }
 
 // Host is an end system: an outgoing NIC port plus a per-flow demux of
-// incoming packets to transport endpoints.
+// incoming packets to transport endpoints. The handler map is allocated
+// on first Attach — at fabric scale most hosts are built long before
+// (or without ever) carrying flows, and an eager map per host is the
+// largest single slice of pure build garbage.
 type Host struct {
-	id       pkt.NodeID
 	eng      *sim.Engine
 	nic      *Port
 	handlers map[pkt.FlowID]Handler
+	rxBytes  int64
+	id       pkt.NodeID
 
-	rxPackets, rxBytes int64
-	unclaimedPackets   int64
+	rxPackets        uint32
+	unclaimedPackets uint32
 }
 
 var _ Node = (*Host)(nil)
 
 // NewHost returns a host with no NIC; call AttachNIC before sending.
 func NewHost(eng *sim.Engine, id pkt.NodeID) *Host {
-	return &Host{
-		id:       id,
-		eng:      eng,
-		handlers: make(map[pkt.FlowID]Handler),
-	}
+	return &Host{id: id, eng: eng}
 }
 
 // AttachNIC connects the host's outgoing link through a FIFO NIC port
@@ -46,6 +46,13 @@ func NewHost(eng *sim.Engine, id pkt.NodeID) *Host {
 func (h *Host) AttachNIC(link *Link) *Port {
 	h.nic = NewPort(h.eng, link, PortConfig{Sched: sched.NewFIFO()})
 	return h.nic
+}
+
+// AttachNICPort installs an already-built port (typically an arena
+// slot) as the host's NIC and returns it.
+func (h *Host) AttachNICPort(p *Port) *Port {
+	h.nic = p
+	return p
 }
 
 // NodeID implements Node.
@@ -88,6 +95,9 @@ func (h *Host) Receive(p *pkt.Packet) {
 
 // Attach registers a handler for a flow's packets arriving at this host.
 func (h *Host) Attach(flow pkt.FlowID, hd Handler) {
+	if h.handlers == nil {
+		h.handlers = make(map[pkt.FlowID]Handler)
+	}
 	h.handlers[flow] = hd
 }
 
@@ -100,8 +110,8 @@ func (h *Host) Detach(flow pkt.FlowID) {
 func (h *Host) RxBytes() int64 { return h.rxBytes }
 
 // RxPackets returns the total packets received by the host.
-func (h *Host) RxPackets() int64 { return h.rxPackets }
+func (h *Host) RxPackets() int64 { return int64(h.rxPackets) }
 
 // UnclaimedPackets counts packets that arrived with no registered
 // handler (or sends before a NIC existed) — normally zero.
-func (h *Host) UnclaimedPackets() int64 { return h.unclaimedPackets }
+func (h *Host) UnclaimedPackets() int64 { return int64(h.unclaimedPackets) }

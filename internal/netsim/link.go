@@ -17,35 +17,51 @@ import (
 // scheduled directly) or a boundary link (the ends live on different
 // shards of a sim.Coordinator; arrivals cross via the shard boundary's
 // deterministic merge). The send path is identical either way.
+//
+// The struct is deliberately closure-free and 48 bytes: at fat-tree
+// k=32 scale the fabric holds ~49k links, and each lives embedded in
+// its owning Port's slab slot (see Arena). Delivery rides the packet
+// itself — Deliver stamps the link into the packet's hop field and
+// schedules the shared linkArrive trampoline, so propagating a packet
+// allocates nothing and links need no per-link callback.
 type Link struct {
+	// eng is the engine arrivals (and the owning port's timers) are
+	// scheduled on. For a boundary link this is the *sending* shard's
+	// engine: the receiving side is reached through boundary instead.
 	eng      *sim.Engine
 	boundary *sim.Boundary
 	rate     units.Rate
 	delay    time.Duration
 	to       Node
-	// deliver is the arrival callback, bound once at construction so
-	// propagating a packet schedules no per-packet closure (multiple
-	// packets can be in flight, so the packet itself rides in the event
-	// arg rather than a field).
-	deliver func(any)
 }
 
-// NewLink returns a link delivering packets to node "to" with the given
-// capacity and one-way propagation delay.
+// LocalLink returns a link value delivering packets to node "to" with
+// the given capacity and one-way propagation delay. Use NewLink when a
+// heap pointer is wanted; builders that embed links in arena slots use
+// the value form directly.
+func LocalLink(eng *sim.Engine, rate units.Rate, delay time.Duration, to Node) Link {
+	return Link{eng: eng, rate: rate, delay: delay, to: to}
+}
+
+// BoundaryLink returns a cross-shard link value: deliveries execute on
+// the boundary's destination shard, one boundary delay after the send.
+// The propagation delay is the boundary's (they are registered together
+// so the coordinator's lookahead bound covers this link).
+func BoundaryLink(b *sim.Boundary, rate units.Rate, to Node) Link {
+	return Link{eng: b.SourceEngine(), boundary: b, rate: rate, delay: b.Delay(), to: to}
+}
+
+// NewLink returns a heap-allocated local link (see LocalLink).
 func NewLink(eng *sim.Engine, rate units.Rate, delay time.Duration, to Node) *Link {
-	l := &Link{eng: eng, rate: rate, delay: delay, to: to}
-	l.deliver = func(arg any) { l.to.Receive(arg.(*pkt.Packet)) }
-	return l
+	l := LocalLink(eng, rate, delay, to)
+	return &l
 }
 
-// NewBoundaryLink returns a cross-shard link: deliveries execute on the
-// boundary's destination shard, one boundary delay after the send. The
-// propagation delay is the boundary's (they are registered together so
-// the coordinator's lookahead bound covers this link).
+// NewBoundaryLink returns a heap-allocated cross-shard link (see
+// BoundaryLink).
 func NewBoundaryLink(b *sim.Boundary, rate units.Rate, to Node) *Link {
-	l := &Link{boundary: b, rate: rate, delay: b.Delay(), to: to}
-	l.deliver = func(arg any) { l.to.Receive(arg.(*pkt.Packet)) }
-	return l
+	l := BoundaryLink(b, rate, to)
+	return &l
 }
 
 // Rate returns the link capacity.
@@ -57,13 +73,21 @@ func (l *Link) Delay() time.Duration { return l.delay }
 // To returns the receiving node.
 func (l *Link) To() Node { return l.to }
 
+// linkArrive completes a propagation: the packet carries its link in
+// the hop field, so one package-level trampoline serves every link.
+func linkArrive(arg any) {
+	p := arg.(*pkt.Packet)
+	p.TakeHop().(*Link).to.Receive(p)
+}
+
 // Deliver propagates p to the far end. The caller must already have
 // charged serialization time (ports do this while holding the
 // transmitter busy).
 func (l *Link) Deliver(p *pkt.Packet) {
+	p.SetHop(l)
 	if l.boundary != nil {
-		l.boundary.Send(l.deliver, p)
+		l.boundary.Send(linkArrive, p)
 		return
 	}
-	l.eng.ScheduleCall(l.delay, l.deliver, p)
+	l.eng.ScheduleCall(l.delay, linkArrive, p)
 }

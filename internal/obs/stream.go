@@ -13,9 +13,9 @@ import (
 )
 
 // This file is the streaming counterpart of analysis.go for binary
-// traces: the event-count and depth-summary reductions computed column
-// by column from the chunk encoding, without ever materializing an
-// []Event. The materializing path costs 80 bytes per event before the
+// traces: the event-count, depth-summary and mark-rate reductions
+// computed column by column from the chunk encoding, without ever
+// materializing an []Event. The materializing path costs 80 bytes per event before the
 // first statistic is touched; at fabric scale a full-run trace is
 // gigabytes of events, so the reduction — not the decode — must be the
 // resident state. A StreamStats holds only the aggregates (one Summary
@@ -29,8 +29,9 @@ import (
 // columns), and — only when depth summaries are requested — Node,
 // Port, Queue and QueueBytes. Every other column is parsed at wire
 // level and dropped, exactly like BinaryReader.skipBody. The fold over
-// the decoded columns reproduces CountKinds and DepthSummaries sample
-// for sample; stream_test.go holds the differential proof.
+// the decoded columns reproduces CountKinds, DepthSummaries and
+// MarkSeries sample for sample; stream_test.go holds the differential
+// proof.
 
 // StreamOptions selects the reductions of a streaming pass.
 type StreamOptions struct {
@@ -41,6 +42,12 @@ type StreamOptions struct {
 	// Node, Port, Queue and QueueBytes columns; disabled, they are
 	// skipped at wire level.
 	Depths bool
+	// MarkBin, when non-zero, bins CE marks and dequeues into
+	// MarkBin-wide counts (the MarkSeries reduction). It reads only the
+	// Kind and T columns, which every pass decodes anyway, so enabling
+	// it costs no extra wire work. Binning by absolute time makes the
+	// fold order-insensitive like the other reductions.
+	MarkBin time.Duration
 	// Since/Until keep only events with Since <= T <= Until.
 	// Until 0 means no upper bound.
 	Since, Until time.Duration
@@ -58,6 +65,10 @@ type StreamStats struct {
 	// Depths is the per-queue occupancy summary (nil unless Depths was
 	// requested).
 	Depths map[QueueKey]*stats.Summary
+	// Marks and Dequeues are the mark-rate timeline's two series (nil
+	// unless MarkBin was set); their per-bin quotient is the mark
+	// fraction, exactly as MarkSeries produces it.
+	Marks, Dequeues *stats.TimeSeries
 	// MinT and MaxT bound the in-range events' virtual time (both zero
 	// while Events is 0).
 	MinT, MaxT time.Duration
@@ -90,6 +101,10 @@ func NewStreamStats(opt StreamOptions) *StreamStats {
 	}
 	if opt.Depths {
 		st.Depths = make(map[QueueKey]*stats.Summary)
+	}
+	if opt.MarkBin > 0 {
+		st.Marks = stats.NewTimeSeries(opt.MarkBin)
+		st.Dequeues = stats.NewTimeSeries(opt.MarkBin)
 	}
 	return st
 }
@@ -211,6 +226,14 @@ func (st *StreamStats) reduceChunk(d *BinaryReader, count int) error {
 		k := st.kinds[i]
 		if st.Kinds != nil {
 			st.Kinds[k]++
+		}
+		if st.Marks != nil {
+			switch k {
+			case KindMark:
+				st.Marks.Add(t, 1)
+			case KindDequeue:
+				st.Dequeues.Add(t, 1)
+			}
 		}
 		if st.Depths != nil && (k == KindEnqueue || k == KindDequeue) {
 			key := QueueKey{Node: pkt.NodeID(st.node[i]), Port: st.port[i], Queue: st.queue[i]}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pmsb/internal/pkt"
+	"pmsb/internal/stats"
 )
 
 func newTestBufReader(raw []byte) *bufio.Reader {
@@ -84,6 +85,11 @@ func assertStreamMatches(t *testing.T, st *StreamStats, events []Event) {
 			t.Errorf("queue %v depth samples differ:\n streamed %v\n want     %v", k, got, want)
 		}
 	}
+	if st.Marks != nil {
+		ms, dq := MarkSeries(events, st.Marks.BinWidth())
+		assertSeriesEqual(t, "marks", st.Marks, ms)
+		assertSeriesEqual(t, "dequeues", st.Dequeues, dq)
+	}
 	if len(events) > 0 {
 		minT, maxT := events[0].T, events[0].T
 		for _, ev := range events {
@@ -103,11 +109,26 @@ func assertStreamMatches(t *testing.T, st *StreamStats, events []Event) {
 	}
 }
 
-// The streaming reduction must reproduce CountKinds and DepthSummaries
-// sample for sample on a multi-chunk trace covering every column.
+// assertSeriesEqual compares two binned time series value by value.
+func assertSeriesEqual(t *testing.T, name string, got, want *stats.TimeSeries) {
+	t.Helper()
+	if got.Bins() != want.Bins() {
+		t.Errorf("%s series has %d bins, want %d", name, got.Bins(), want.Bins())
+		return
+	}
+	for i := 0; i < want.Bins(); i++ {
+		if got.Value(i) != want.Value(i) {
+			t.Errorf("%s bin %d = %v, want %v", name, i, got.Value(i), want.Value(i))
+		}
+	}
+}
+
+// The streaming reduction must reproduce CountKinds, DepthSummaries and
+// MarkSeries sample for sample on a multi-chunk trace covering every
+// column.
 func TestStreamReduceDifferential(t *testing.T) {
 	raw, events := streamFixture(t, 3*writerChunkEvents/2)
-	st := NewStreamStats(StreamOptions{Counts: true, Depths: true})
+	st := NewStreamStats(StreamOptions{Counts: true, Depths: true, MarkBin: 100 * time.Microsecond})
 	if err := st.Reduce(bytes.NewReader(raw)); err != nil {
 		t.Fatalf("Reduce: %v", err)
 	}
@@ -132,7 +153,8 @@ func TestStreamReduceRange(t *testing.T) {
 	for _, cut := range cuts {
 		t.Run(cut.name, func(t *testing.T) {
 			st := NewStreamStats(StreamOptions{
-				Counts: true, Depths: true, Since: cut.since, Until: cut.until,
+				Counts: true, Depths: true, MarkBin: 50 * time.Microsecond,
+				Since: cut.since, Until: cut.until,
 			})
 			if err := st.Reduce(bytes.NewReader(raw)); err != nil {
 				t.Fatalf("Reduce: %v", err)
@@ -191,6 +213,9 @@ func TestStreamReduceCountsOnly(t *testing.T) {
 	}
 	if st.Depths != nil {
 		t.Error("Depths map allocated without the reduction enabled")
+	}
+	if st.Marks != nil || st.Dequeues != nil {
+		t.Error("mark series allocated without MarkBin set")
 	}
 	if want := CountKinds(events); !reflect.DeepEqual(st.Kinds, want) {
 		t.Errorf("kind counts differ: %v want %v", st.Kinds, want)

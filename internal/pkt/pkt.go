@@ -53,7 +53,25 @@ type Packet struct {
 	// that need sojourn time (TCN) read it at dequeue.
 	EnqueuedAt time.Duration
 
+	// hop carries the link the packet is currently propagating on. The
+	// netsim layer sets it at Deliver and clears it on arrival, so a link
+	// traversal needs no per-link closure: the arrival event's argument
+	// is the packet itself, and the packet knows which link it rides.
+	// Opaque (any) because pkt cannot import netsim.
+	hop any
+
 	// released tracks pool membership in debug mode (see pool.go); it is
 	// unexported so it never leaks into serialized or compared state.
 	released bool
+}
+
+// SetHop records the link (or any carrier) the packet is traversing.
+// Owned by the delivery layer; see the hop field.
+func (p *Packet) SetHop(h any) { p.hop = h }
+
+// TakeHop returns and clears the packet's carrier.
+func (p *Packet) TakeHop() any {
+	h := p.hop
+	p.hop = nil
+	return h
 }

@@ -219,3 +219,86 @@ func (d *DWRR) ObserveIdle(now time.Duration) {
 		d.roundTime = 0
 	}
 }
+
+// DWRRBlock dispenses DWRR schedulers for a fabric of identical ports
+// from a handful of slabs. Per-port construction of a DWRR costs eight
+// allocations (struct, weight copy, queues, quantum, deficit, ring
+// bookkeeping); a block amortizes that to one slab per field across
+// every port, shares the read-only tables (weights, quanta) outright,
+// and cuts each port's mutable state (queues, deficits, active ring)
+// from contiguous arrays with three-index caps so an out-of-contract
+// append could never spill into a neighbour's region. Requests beyond
+// the reserved count fall back to NewDWRR.
+type DWRRBlock struct {
+	slab    []DWRR
+	weights []float64
+	sum     float64
+	quantum []int
+	queues  []fifo
+	deficit []int
+	active  []int
+	inRing  []bool
+
+	quantumBase int
+	opts        []DWRROption
+}
+
+// NewDWRRBlock reserves slabs for n DWRR schedulers with the given
+// per-queue weights; quantumBase and opts are as in NewDWRR and apply
+// to every dispensed scheduler.
+func NewDWRRBlock(n int, weights []float64, quantumBase int, opts ...DWRROption) *DWRRBlock {
+	if quantumBase < 1 {
+		quantumBase = units.MTU
+	}
+	nq := len(weights)
+	b := &DWRRBlock{
+		slab:        make([]DWRR, 0, n),
+		weights:     append([]float64(nil), weights...),
+		quantum:     make([]int, nq),
+		queues:      make([]fifo, n*nq),
+		deficit:     make([]int, n*nq),
+		active:      make([]int, n*nq),
+		inRing:      make([]bool, n*nq),
+		quantumBase: quantumBase,
+		opts:        opts,
+	}
+	for _, w := range b.weights {
+		b.sum += w
+	}
+	for i, w := range b.weights {
+		q := int(w * float64(quantumBase))
+		if q < 1 {
+			q = 1
+		}
+		b.quantum[i] = q
+	}
+	return b
+}
+
+// Next carves the next DWRR scheduler.
+func (b *DWRRBlock) Next() *DWRR {
+	if len(b.slab) == cap(b.slab) {
+		return NewDWRR(b.weights, b.quantumBase, b.opts...)
+	}
+	b.slab = b.slab[:len(b.slab)+1]
+	d := &b.slab[len(b.slab)-1]
+	nq := len(b.weights)
+	off := (len(b.slab) - 1) * nq
+	end := off + nq
+	d.base = base{
+		queues:    b.queues[off:end:end],
+		weights:   b.weights,
+		weightSum: b.sum,
+	}
+	d.quantum = b.quantum
+	d.deficit = b.deficit[off:end:end]
+	d.inRing = b.inRing[off:end:end]
+	d.active = b.active[off:off:end]
+	d.beta = 0.75
+	d.tIdle = units.Serialization(units.MTU, 10*units.Gbps)
+	d.roundHead = -1
+	for _, opt := range b.opts {
+		opt(d)
+	}
+	return d
+}

@@ -4,30 +4,75 @@ import "pmsb/internal/pkt"
 
 // FIFO is a single first-in-first-out queue. It is the discipline of
 // host NICs and of single-queue baseline experiments.
+//
+// Unlike the multi-queue schedulers it carries no base block: a FIFO
+// is exactly one 24-byte ring, its weights are the constant 1, and its
+// zero value is ready to use — which is what lets FIFOBlock hand out
+// thousands of them from one slab.
 type FIFO struct {
-	base
+	q fifo
 }
 
 var _ Scheduler = (*FIFO)(nil)
 
 // NewFIFO returns a FIFO scheduler with a single queue.
-func NewFIFO() *FIFO {
-	return &FIFO{base: newBase(equalWeights(1))}
-}
+func NewFIFO() *FIFO { return &FIFO{} }
 
 // Name implements Scheduler.
 func (f *FIFO) Name() string { return "FIFO" }
 
+// NumQueues implements Scheduler.
+func (f *FIFO) NumQueues() int { return 1 }
+
 // Enqueue implements Scheduler. All packets share queue 0 regardless of q.
-func (f *FIFO) Enqueue(q int, p *pkt.Packet) {
-	f.push(0, p)
-}
+func (f *FIFO) Enqueue(q int, p *pkt.Packet) { f.q.push(p) }
 
 // Dequeue implements Scheduler.
 func (f *FIFO) Dequeue() (*pkt.Packet, int, bool) {
-	p := f.pop(0)
+	p := f.q.pop()
 	if p == nil {
 		return nil, 0, false
 	}
 	return p, 0, true
+}
+
+// QueueBytes implements Scheduler.
+func (f *FIFO) QueueBytes(q int) int { return int(f.q.bytes) }
+
+// QueuePackets implements Scheduler.
+func (f *FIFO) QueuePackets(q int) int { return int(f.q.n) }
+
+// TotalBytes implements Scheduler.
+func (f *FIFO) TotalBytes() int { return int(f.q.bytes) }
+
+// TotalPackets implements Scheduler.
+func (f *FIFO) TotalPackets() int { return int(f.q.n) }
+
+// Weight implements Scheduler.
+func (f *FIFO) Weight(q int) float64 { return 1 }
+
+// WeightSum implements Scheduler.
+func (f *FIFO) WeightSum() float64 { return 1 }
+
+// FIFOBlock dispenses FIFO schedulers carved from one slab, for
+// fabric builders that create tens of thousands of single-queue ports.
+// Requests beyond the reserved capacity fall back to individual
+// allocations, so an under-estimated size is a performance detail, not
+// an error; pointers already handed out stay valid either way.
+type FIFOBlock struct {
+	slab []FIFO
+}
+
+// NewFIFOBlock reserves a slab of n FIFOs.
+func NewFIFOBlock(n int) *FIFOBlock {
+	return &FIFOBlock{slab: make([]FIFO, 0, n)}
+}
+
+// Next carves the next FIFO.
+func (b *FIFOBlock) Next() *FIFO {
+	if len(b.slab) == cap(b.slab) {
+		return NewFIFO()
+	}
+	b.slab = b.slab[:len(b.slab)+1]
+	return &b.slab[len(b.slab)-1]
 }

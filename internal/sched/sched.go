@@ -12,6 +12,7 @@ package sched
 import (
 	"fmt"
 	"time"
+	"unsafe"
 
 	"pmsb/internal/pkt"
 )
@@ -58,31 +59,50 @@ type RoundInfo interface {
 }
 
 // fifo is a growable ring buffer of packets with O(1) push and pop.
+//
+// It is packed into 24 bytes — a raw base pointer plus three 32-bit
+// fields instead of a 24-byte slice header plus three ints — because
+// fabric-scale topologies hold one fifo per queue per port (~49k at
+// fat-tree k=32) and the queue bookkeeping is the second-largest block
+// of resident build state after the ports themselves. unsafe.Slice
+// reconstitutes the backing array on access; the ring stays nil (no
+// backing allocation) until the first push. The 32-bit byte counter
+// bounds one queue's occupancy at 2 GB — far beyond any buffer a
+// simulated port carries.
 type fifo struct {
-	buf   []*pkt.Packet
-	head  int
-	n     int
-	bytes int
+	buf   **pkt.Packet // backing array base; nil until first push
+	cap   int32
+	head  int32
+	n     int32
+	bytes int32
 }
 
 func (f *fifo) push(p *pkt.Packet) {
-	if f.n == len(f.buf) {
+	if f.n == f.cap {
 		f.grow()
 	}
-	f.buf[(f.head+f.n)%len(f.buf)] = p
+	i := f.head + f.n
+	if i >= f.cap {
+		i -= f.cap
+	}
+	unsafe.Slice(f.buf, f.cap)[i] = p
 	f.n++
-	f.bytes += p.Size
+	f.bytes += int32(p.Size)
 }
 
 func (f *fifo) pop() *pkt.Packet {
 	if f.n == 0 {
 		return nil
 	}
-	p := f.buf[f.head]
-	f.buf[f.head] = nil
-	f.head = (f.head + 1) % len(f.buf)
+	buf := unsafe.Slice(f.buf, f.cap)
+	p := buf[f.head]
+	buf[f.head] = nil
+	f.head++
+	if f.head == f.cap {
+		f.head = 0
+	}
 	f.n--
-	f.bytes -= p.Size
+	f.bytes -= int32(p.Size)
 	return p
 }
 
@@ -90,19 +110,25 @@ func (f *fifo) peek() *pkt.Packet {
 	if f.n == 0 {
 		return nil
 	}
-	return f.buf[f.head]
+	return unsafe.Slice(f.buf, f.cap)[f.head]
 }
 
 func (f *fifo) grow() {
-	capacity := len(f.buf) * 2
+	capacity := f.cap * 2
 	if capacity == 0 {
 		capacity = 16
 	}
 	next := make([]*pkt.Packet, capacity)
-	for i := 0; i < f.n; i++ {
-		next[i] = f.buf[(f.head+i)%len(f.buf)]
+	old := unsafe.Slice(f.buf, f.cap) // nil and harmless when cap == 0
+	for i := int32(0); i < f.n; i++ {
+		j := f.head + i
+		if j >= f.cap {
+			j -= f.cap
+		}
+		next[i] = old[j]
 	}
-	f.buf = next
+	f.buf = &next[0]
+	f.cap = capacity
 	f.head = 0
 }
 
@@ -140,9 +166,9 @@ func equalWeights(n int) []float64 {
 
 func (b *base) NumQueues() int { return len(b.queues) }
 
-func (b *base) QueueBytes(q int) int { return b.queues[q].bytes }
+func (b *base) QueueBytes(q int) int { return int(b.queues[q].bytes) }
 
-func (b *base) QueuePackets(q int) int { return b.queues[q].n }
+func (b *base) QueuePackets(q int) int { return int(b.queues[q].n) }
 
 func (b *base) TotalBytes() int { return b.totalBytes }
 

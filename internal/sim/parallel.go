@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -43,9 +44,9 @@ import (
 // frozen at its window start while a window is in flight, relaxed
 // through the channel graph while idle — so the arrival lands at
 // >= lb(j)+delay(j->dst) >= grant(dst) = W. Arrivals produced *during*
-// a destination's own window are parked (pendingIn) and injected when
-// that window completes; they are all at or beyond the destination's
-// grant, hence beyond everything that window executed. Windows are
+// a destination's own window are parked (pendingSlabs) and injected
+// when that window completes; they are all at or beyond the
+// destination's grant, hence beyond everything that window executed. Windows are
 // half-open so an arrival exactly at a window end is injected before
 // the events it could tie with are run.
 //
@@ -178,6 +179,14 @@ type Coordinator struct {
 	// the rest of the configuration.
 	rt  *runStats
 	mon *Monitor
+
+	// slabPool recycles drained event slabs across all shards. Slabs
+	// migrate with the traffic matrix (a slab filled by one shard is
+	// often drained while another's worker holds the sender busy), so
+	// per-shard free lists starve senders into fresh allocations every
+	// window; a shared pool keeps the steady-state slab population —
+	// and their grown ev backing arrays — in circulation instead.
+	slabPool sync.Pool
 }
 
 // inChan is one incoming channel of a shard: the sending shard and the
@@ -193,11 +202,19 @@ type Shard struct {
 	id    int
 	eng   *Engine
 
-	// outbox accumulates cross-shard sends performed during the shard's
-	// current window; only the worker running the window appends, and
-	// only the coordinator drains (after receiving the completion).
-	outbox  []remoteEvent
-	sendSeq uint64
+	// Cross-shard sends accumulate in per-destination slabs, handed off
+	// whole: outboxTo[d] is the slab of this window's sends to shard d
+	// (nil until the first send), outDst lists the destinations touched
+	// in first-send order so the drain walks only live slabs. Only the
+	// worker running the window appends; only the coordinator drains
+	// (after receiving the completion) — the same grant/done channel
+	// handoff that transfers engine ownership transfers slab ownership.
+	// Drained slabs recycle through the coordinator's slabPool
+	// (pooled-packet discipline: a slab is owned by exactly one side at
+	// a time; the pool only ever holds cleared, unowned slabs).
+	outboxTo []*eventSlab
+	outDst   []int
+	sendSeq  uint64
 
 	// Cached earliest-pending-event time, maintained by runBefore
 	// returns and injections so the coordinator never rescans engine
@@ -209,13 +226,17 @@ type Shard struct {
 	// lb is the published lower bound on the time of any send this
 	// shard may still perform: frozen at the window start while a
 	// window is in flight, relaxed through the channel graph while
-	// idle. pendingIn parks arrivals delivered while a window runs;
-	// they are injected when it completes (all are at or beyond the
-	// shard's own grant, so nothing executed could have needed them).
-	running   bool
-	lb        time.Duration
-	grantEnd  time.Duration
-	pendingIn []remoteEvent
+	// idle. pendingSlabs parks whole arrival slabs delivered while a
+	// window runs (a pointer swap, not a per-event copy); they are
+	// injected when it completes (every event in them is at or beyond
+	// the shard's own grant, so nothing executed could have needed
+	// them). A parked slab is recycled through the shared slab pool once
+	// drained — never into per-shard state that its original owner
+	// might be touching.
+	running      bool
+	lb           time.Duration
+	grantEnd     time.Duration
+	pendingSlabs []*eventSlab
 
 	grantCh chan struct{}
 
@@ -225,15 +246,59 @@ type Shard struct {
 	mon *MonitorShard
 }
 
-// remoteEvent is one cross-shard delivery waiting to be injected.
+// remoteEvent is one cross-shard delivery waiting to be injected. The
+// destination is carried by the slab holding it, not per event.
 type remoteEvent struct {
-	dst    *Shard
 	at     time.Duration
 	sentAt time.Duration
 	lane   uint32
 	seq    uint64
 	fn     func(any)
 	arg    any
+}
+
+// eventSlab is one window's batch of deliveries from one source shard
+// to one destination. The coordinator moves slabs by pointer — park,
+// inject, recycle — so cross-shard traffic costs O(slabs), not
+// O(events), on the coordinator's critical path. minAt caches the
+// earliest arrival so absorbing a slab updates the destination's
+// cached next-event time with a single comparison.
+type eventSlab struct {
+	ev    []remoteEvent
+	minAt time.Duration
+}
+
+// getSlab takes a recycled slab from the shared pool (or allocates the
+// first few). Called from Boundary.Send (worker context); sync.Pool is
+// safe there, and the caller fully initializes the slab (minAt on the
+// first append), so pool pick order cannot influence results.
+func (s *Shard) getSlab() *eventSlab {
+	if sl, ok := s.coord.slabPool.Get().(*eventSlab); ok && sl != nil {
+		return sl
+	}
+	return &eventSlab{}
+}
+
+// putSlab recycles a drained slab, dropping callback and payload
+// references so the delivered events' object graphs can be collected
+// while the slab (and its grown backing array) stays in circulation.
+// Called only on slabs no shard holds a reference to.
+func (s *Shard) putSlab(sl *eventSlab) {
+	clear(sl.ev)
+	sl.ev = sl.ev[:0]
+	s.coord.slabPool.Put(sl)
+}
+
+// injectSlab injects a slab's events into the destination engine and
+// folds the slab's earliest arrival into the cached next-event time.
+func injectSlab(d *Shard, sl *eventSlab) {
+	for i := range sl.ev {
+		r := &sl.ev[i]
+		d.eng.injectRemote(r.at, r.sentAt, r.lane, r.seq, r.fn, r.arg)
+	}
+	if len(sl.ev) > 0 && (!d.hasNext || sl.minAt < d.nextAt) {
+		d.nextAt, d.hasNext = sl.minAt, true
+	}
 }
 
 // NewCoordinator returns an empty coordinator running the default
@@ -339,18 +404,36 @@ type Boundary struct {
 // Delay returns the boundary's propagation delay.
 func (b *Boundary) Delay() time.Duration { return b.delay }
 
+// SourceEngine returns the sending shard's engine — the clock governing
+// everything that transmits across this boundary (a port whose link is
+// a boundary link schedules its serialization timers here).
+func (b *Boundary) SourceEngine() *Engine { return b.from.eng }
+
 // Send schedules fn(arg) on the destination shard one propagation delay
 // from now. It must be called from the sending shard's execution
 // context (i.e. from an event running on its engine); the delivery is
-// parked in the shard's outbox and injected after the window completes,
-// with the full deterministic key: arrival time, sending clock, sending
-// shard's lane and cross-send sequence.
+// appended to the shard's per-destination slab and handed off whole
+// after the window completes, with the full deterministic key: arrival
+// time, sending clock, sending shard's lane and cross-send sequence.
 func (b *Boundary) Send(fn func(any), arg any) {
 	s := b.from
 	now := s.eng.now
-	s.outbox = append(s.outbox, remoteEvent{
-		dst:    b.to,
-		at:     now + b.delay,
+	at := now + b.delay
+	dst := b.to.id
+	for len(s.outboxTo) <= dst {
+		s.outboxTo = append(s.outboxTo, nil)
+	}
+	sl := s.outboxTo[dst]
+	if sl == nil {
+		sl = s.getSlab()
+		sl.minAt = at
+		s.outboxTo[dst] = sl
+		s.outDst = append(s.outDst, dst)
+	} else if at < sl.minAt {
+		sl.minAt = at
+	}
+	sl.ev = append(sl.ev, remoteEvent{
+		at:     at,
 		sentAt: now,
 		lane:   uint32(1 + s.id),
 		seq:    s.sendSeq,
@@ -701,47 +784,42 @@ func (c *Coordinator) buildChannels() {
 	}
 }
 
-// completeWindow absorbs one finished window: the shard's outbox is
-// delivered (straight into idle destinations; parked for running ones,
-// whose engines are owned by their workers), its own parked arrivals
-// are injected, and it returns to the grantable pool.
+// completeWindow absorbs one finished window: the shard's outbox slabs
+// are handed to their destinations (injected straight into idle ones;
+// parked whole — a pointer append — for running ones, whose engines
+// are owned by their workers), its own parked slabs are injected, and
+// it returns to the grantable pool.
 func (c *Coordinator) completeWindow(s *Shard) {
 	s.running = false
 	rt := c.rt
-	if rt != nil {
-		rt.shards[s.id].outboxSent += uint64(len(s.outbox))
-	}
-	for i := range s.outbox {
-		r := &s.outbox[i]
-		d := r.dst
+	for _, dst := range s.outDst {
+		sl := s.outboxTo[dst]
+		s.outboxTo[dst] = nil
+		d := c.shards[dst]
+		if rt != nil {
+			rt.shards[s.id].outboxSent += uint64(len(sl.ev))
+		}
 		if d.running {
-			// d's engine is in flight; park. Safe: this arrival is at
-			// or beyond d's grant (that is how d's grant was computed),
-			// so nothing d's current window executes could need it.
-			d.pendingIn = append(d.pendingIn, *r)
+			// d's engine is in flight; park the whole slab. Safe: every
+			// arrival in it is at or beyond d's grant (that is how d's
+			// grant was computed), so nothing d's current window
+			// executes could need it. The slab now belongs to d and is
+			// recycled into d's free list after injection.
+			d.pendingSlabs = append(d.pendingSlabs, sl)
 			if rt != nil {
-				rt.shards[d.id].parked++
+				rt.shards[d.id].parked += uint64(len(sl.ev))
 			}
 		} else {
-			d.eng.injectRemote(r.at, r.sentAt, r.lane, r.seq, r.fn, r.arg)
-			if !d.hasNext || r.at < d.nextAt {
-				d.nextAt, d.hasNext = r.at, true
-			}
+			injectSlab(d, sl)
+			s.putSlab(sl)
 		}
-		// Release the callback and payload references immediately; the
-		// outbox slice is reused across windows.
-		r.fn, r.arg = nil, nil
 	}
-	s.outbox = s.outbox[:0]
-	for i := range s.pendingIn {
-		r := &s.pendingIn[i]
-		s.eng.injectRemote(r.at, r.sentAt, r.lane, r.seq, r.fn, r.arg)
-		if !s.hasNext || r.at < s.nextAt {
-			s.nextAt, s.hasNext = r.at, true
-		}
-		r.fn, r.arg = nil, nil
+	s.outDst = s.outDst[:0]
+	for _, sl := range s.pendingSlabs {
+		injectSlab(s, sl)
+		s.putSlab(sl)
 	}
-	s.pendingIn = s.pendingIn[:0]
+	s.pendingSlabs = s.pendingSlabs[:0]
 }
 
 // work is a dedicated worker: it runs its own shard's granted windows.
@@ -788,26 +866,24 @@ func (c *Coordinator) minNext() (time.Duration, bool) {
 	return min, ok
 }
 
-// drainOutboxes injects every parked cross-shard delivery into its
+// drainOutboxes injects every parked cross-shard slab into its
 // destination engine (ParGlobal's barrier drain; every shard is parked
-// at the barrier, so nothing needs pendingIn). Injection order is
-// irrelevant to the result (the queue orders purely by key) but
-// outboxes are drained in shard order anyway so the engine's internal
-// layout is reproducible too.
+// at the barrier, so nothing is ever mid-window here). Injection order
+// is irrelevant to the result (the queue orders purely by key) but
+// slabs are drained in (source shard, first-send) order anyway so the
+// engine's internal layout is reproducible too.
 func (c *Coordinator) drainOutboxes() {
 	for _, s := range c.shards {
-		if c.rt != nil {
-			c.rt.shards[s.id].outboxSent += uint64(len(s.outbox))
-		}
-		for i := range s.outbox {
-			r := &s.outbox[i]
-			r.dst.eng.injectRemote(r.at, r.sentAt, r.lane, r.seq, r.fn, r.arg)
-			if !r.dst.hasNext || r.at < r.dst.nextAt {
-				r.dst.nextAt, r.dst.hasNext = r.at, true
+		for _, dst := range s.outDst {
+			sl := s.outboxTo[dst]
+			s.outboxTo[dst] = nil
+			if c.rt != nil {
+				c.rt.shards[s.id].outboxSent += uint64(len(sl.ev))
 			}
-			r.fn, r.arg = nil, nil
+			injectSlab(c.shards[dst], sl)
+			s.putSlab(sl)
 		}
-		s.outbox = s.outbox[:0]
+		s.outDst = s.outDst[:0]
 	}
 }
 

@@ -43,9 +43,9 @@ type ShardStats struct {
 	// (work-stealing only).
 	Steals uint64 `json:"steals"`
 	// OutboxSent counts cross-shard deliveries drained from this
-	// shard's outbox.
+	// shard's outbox slabs.
 	OutboxSent uint64 `json:"outboxSent"`
-	// Parked counts arrivals parked in this shard's pendingIn because
+	// Parked counts arrivals parked (slab-wise) at this shard because
 	// a window was in flight when they were delivered.
 	Parked uint64 `json:"parked"`
 	// Events counts events executed inside this shard's windows.

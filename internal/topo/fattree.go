@@ -5,6 +5,7 @@ import (
 
 	"pmsb/internal/netsim"
 	"pmsb/internal/pkt"
+	"pmsb/internal/sched"
 	"pmsb/internal/sim"
 	"pmsb/internal/units"
 )
@@ -16,7 +17,8 @@ import (
 // benchmarked on (BenchmarkFatTree).
 type FatTreeConfig struct {
 	// K is the switch radix; must be even (default 4). k=8 yields 128
-	// hosts, 32 edge, 32 aggregation, and 16 core switches.
+	// hosts, 32 edge, 32 aggregation, and 16 core switches; k=32 yields
+	// 8192 hosts and ~49k ports.
 	K int
 	// Rate is the capacity of every link (default 10 Gbps).
 	Rate units.Rate
@@ -47,19 +49,17 @@ type FatTree struct {
 	// are pod-major: pod p owns indices [p*k/2, (p+1)*k/2).
 	Edges, Aggs, Cores []*netsim.Switch
 
-	cfg FatTreeConfig
+	cfg    FatTreeConfig
+	arenas []*netsim.Arena
 }
 
-// NewFatTree wires the fabric. Every switch port gets the configured
-// scheduler/marker profile; host NICs are plain FIFOs.
-//
-// Port layout (half = k/2):
-//   - edge: ports 0..half-1 down to hosts, half..k-1 up to the pod's
-//     aggregation switches (agg j at port half+j).
-//   - agg j (index within its pod): ports 0..half-1 down to the pod's
-//     edge switches, half..k-1 up to cores j*half..j*half+half-1.
-//   - core: port p down to pod p (via the one agg it attaches to).
-func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
+// ftShape holds the derived fat-tree dimensions.
+type ftShape struct {
+	k, half, pods, hostsPerPod, nHosts, nCores int
+}
+
+// shape applies the config defaults and derives the dimensions.
+func (cfg *FatTreeConfig) shape() ftShape {
 	if cfg.K == 0 {
 		cfg.K = 4
 	}
@@ -72,39 +72,141 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 	if cfg.Delay == 0 {
 		cfg.Delay = time.Microsecond
 	}
-
 	k := cfg.K
 	half := k / 2
-	pods := k
-	hostsPerPod := half * half
-	nHosts := pods * hostsPerPod
+	return ftShape{
+		k: k, half: half, pods: k,
+		hostsPerPod: half * half,
+		nHosts:      k * half * half,
+		nCores:      half * half,
+	}
+}
 
-	ft := &FatTree{Eng: eng, cfg: cfg}
+// ftAlloc is the fat-tree builders' per-shard allocation state: one
+// netsim.Arena per shard (so no two shards' port state shares a cache
+// line), one NIC FIFO slab per shard, and — when the profile opts in
+// via NewSchedBlock — one scheduler slab dispenser per shard. The
+// arenas are sized exactly from the shard's pod and core assignment,
+// so a correctly wired build never falls back to the heap.
+type ftAlloc struct {
+	pp     *PortProfile
+	engs   []*sim.Engine
+	arenas []*netsim.Arena
+	disp   []func() sched.Scheduler
+	nic    []*sched.FIFOBlock
+}
+
+func newFTAlloc(pp *PortProfile, engs []*sim.Engine, sh ftShape,
+	podShard, coreShard func(int) int) *ftAlloc {
+	shards := len(engs)
+	podsOf := make([]int, shards)
+	coresOf := make([]int, shards)
+	for p := 0; p < sh.pods; p++ {
+		podsOf[podShard(p)]++
+	}
+	for c := 0; c < sh.nCores; c++ {
+		coresOf[coreShard(c)]++
+	}
+	fa := &ftAlloc{
+		pp:     pp,
+		engs:   engs,
+		arenas: make([]*netsim.Arena, shards),
+		disp:   make([]func() sched.Scheduler, shards),
+		nic:    make([]*sched.FIFOBlock, shards),
+	}
+	for s := 0; s < shards; s++ {
+		// Per pod: k^2 switch ports (k/2 edges and k/2 aggs of radix k);
+		// per core: one port per pod.
+		swPorts := podsOf[s]*sh.k*sh.k + coresOf[s]*sh.pods
+		hosts := podsOf[s] * sh.hostsPerPod
+		fa.arenas[s] = netsim.NewArena(netsim.ArenaSpec{
+			Ports:    hosts + swPorts,
+			Hosts:    hosts,
+			Switches: podsOf[s]*sh.k + coresOf[s],
+			PortRefs: swPorts,
+		})
+		if pp.NewSchedBlock != nil {
+			fa.disp[s] = pp.NewSchedBlock(engs[s], pp.Weights, swPorts)
+		}
+		fa.nic[s] = sched.NewFIFOBlock(hosts)
+	}
+	return fa
+}
+
+// newPort carves one switch port from shard s's arena.
+func (fa *ftAlloc) newPort(s int, link netsim.Link) *netsim.Port {
+	var sc sched.Scheduler
+	if fa.disp[s] != nil {
+		sc = fa.disp[s]()
+	} else {
+		sc = fa.pp.scheduler(fa.engs[s])
+	}
+	return fa.arenas[s].NewPort(link, netsim.PortConfig{
+		Sched:       sc,
+		Marker:      fa.pp.marker(),
+		BufferBytes: fa.pp.BufferBytes,
+	})
+}
+
+// newHost carves a host with a slab-FIFO NIC transmitting on link.
+func (fa *ftAlloc) newHost(s int, id pkt.NodeID, link netsim.Link) *netsim.Host {
+	h := fa.arenas[s].NewHost(fa.engs[s], id)
+	h.AttachNICPort(fa.arenas[s].NewPort(link, netsim.PortConfig{Sched: fa.nic[s].Next()}))
+	return h
+}
+
+// newSwitch carves a switch with a portCap-entry port table.
+func (fa *ftAlloc) newSwitch(s int, id pkt.NodeID, portCap int) *netsim.Switch {
+	return fa.arenas[s].NewSwitch(fa.engs[s], id, portCap)
+}
+
+// NewFatTree wires the fabric. Every switch port gets the configured
+// scheduler/marker profile; host NICs are plain FIFOs. All node and
+// queue state is carved from one arena (see netsim.Arena), so building
+// even a k=32 fabric costs a handful of slab allocations.
+//
+// Port layout (half = k/2):
+//   - edge: ports 0..half-1 down to hosts, half..k-1 up to the pod's
+//     aggregation switches (agg j at port half+j).
+//   - agg j (index within its pod): ports 0..half-1 down to the pod's
+//     edge switches, half..k-1 up to cores j*half..j*half+half-1.
+//   - core: port p down to pod p (via the one agg it attaches to).
+func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
+	sh := cfg.shape()
+	k, half, pods := sh.k, sh.half, sh.pods
+	hostsPerPod, nHosts, nCores := sh.hostsPerPod, sh.nHosts, sh.nCores
+
+	zero := func(int) int { return 0 }
+	fa := newFTAlloc(&cfg.Ports, []*sim.Engine{eng}, sh, zero, zero)
+
+	ft := &FatTree{Eng: eng, cfg: cfg, arenas: fa.arenas}
+	ft.Hosts = make([]*netsim.Host, 0, nHosts)
+	ft.Edges = make([]*netsim.Switch, 0, pods*half)
+	ft.Aggs = make([]*netsim.Switch, 0, pods*half)
+	ft.Cores = make([]*netsim.Switch, 0, nCores)
 	base := switchIDBase(nHosts)
 	for i := 0; i < pods*half; i++ {
-		ft.Edges = append(ft.Edges, netsim.NewSwitch(eng, pkt.NodeID(base+1+i)))
-		ft.Aggs = append(ft.Aggs, netsim.NewSwitch(eng, pkt.NodeID(2*base+1+i)))
+		ft.Edges = append(ft.Edges, fa.newSwitch(0, pkt.NodeID(base+1+i), k))
+		ft.Aggs = append(ft.Aggs, fa.newSwitch(0, pkt.NodeID(2*base+1+i), k))
 	}
 	for i := 0; i < half*half; i++ {
-		ft.Cores = append(ft.Cores, netsim.NewSwitch(eng, pkt.NodeID(3*base+1+i)))
+		ft.Cores = append(ft.Cores, fa.newSwitch(0, pkt.NodeID(3*base+1+i), pods))
 	}
 
-	link := func(to netsim.Node) *netsim.Link {
-		return netsim.NewLink(eng, cfg.Rate, cfg.Delay, to)
+	link := func(to netsim.Node) netsim.Link {
+		return netsim.LocalLink(eng, cfg.Rate, cfg.Delay, to)
 	}
-	nCores := half * half
-	fabricLink := func(p, c int, to netsim.Node) *netsim.Link {
+	fabricLink := func(p, c int, to netsim.Node) netsim.Link {
 		d := cfg.Delay + time.Duration(1+p*nCores+c)*cfg.FabricDelaySkew
-		return netsim.NewLink(eng, cfg.Rate, d, to)
+		return netsim.LocalLink(eng, cfg.Rate, d, to)
 	}
 
 	// Hosts and host<->edge links. Host i lives in pod i/hostsPerPod on
 	// edge (i%hostsPerPod)/half at down-port i%half.
 	for i := 0; i < nHosts; i++ {
 		edge := ft.Edges[i/hostsPerPod*half+(i%hostsPerPod)/half]
-		h := netsim.NewHost(eng, pkt.NodeID(i+1))
-		h.AttachNIC(link(edge))
-		edge.AddPort(cfg.Ports.newPort(eng, link(h)))
+		h := fa.newHost(0, pkt.NodeID(i+1), link(edge))
+		edge.AddPort(fa.newPort(0, link(h)))
 		ft.Hosts = append(ft.Hosts, h)
 	}
 
@@ -114,13 +216,13 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 		for e := 0; e < half; e++ {
 			edge := ft.Edges[p*half+e]
 			for j := 0; j < half; j++ {
-				edge.AddPort(cfg.Ports.newPort(eng, link(ft.Aggs[p*half+j])))
+				edge.AddPort(fa.newPort(0, link(ft.Aggs[p*half+j])))
 			}
 		}
 		for j := 0; j < half; j++ {
 			agg := ft.Aggs[p*half+j]
 			for e := 0; e < half; e++ {
-				agg.AddPort(cfg.Ports.newPort(eng, link(ft.Edges[p*half+e])))
+				agg.AddPort(fa.newPort(0, link(ft.Edges[p*half+e])))
 			}
 		}
 	}
@@ -129,20 +231,28 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 		for j := 0; j < half; j++ {
 			agg := ft.Aggs[p*half+j]
 			for i := 0; i < half; i++ {
-				agg.AddPort(cfg.Ports.newPort(eng, fabricLink(p, j*half+i, ft.Cores[j*half+i])))
+				agg.AddPort(fa.newPort(0, fabricLink(p, j*half+i, ft.Cores[j*half+i])))
 			}
 		}
 	}
 	// Core down-ports in pod order, so port p reaches pod p.
 	for c, core := range ft.Cores {
 		for p := 0; p < pods; p++ {
-			core.AddPort(cfg.Ports.newPort(eng, fabricLink(p, c, ft.Aggs[p*half+c/half])))
+			core.AddPort(fa.newPort(0, fabricLink(p, c, ft.Aggs[p*half+c/half])))
 		}
 	}
 
-	// Routing. Up-paths use flow-level ECMP; the agg tier salts the hash
-	// so the core choice decorrelates from the edge tier's agg choice
-	// (same hash mod the same divisor at both tiers would polarize).
+	ft.installRoutes(sh)
+	return ft
+}
+
+// installRoutes wires the three tiers' routing functions — identical
+// for the serial and sharded builders. Up-paths use flow-level ECMP;
+// the agg tier salts the hash so the core choice decorrelates from the
+// edge tier's agg choice (same hash mod the same divisor at both tiers
+// would polarize).
+func (ft *FatTree) installRoutes(sh ftShape) {
+	half, hostsPerPod, nHosts := sh.half, sh.hostsPerPod, sh.nHosts
 	hostPod := func(dst pkt.NodeID) int { return (int(dst) - 1) / hostsPerPod }
 	hostEdge := func(dst pkt.NodeID) int { return ((int(dst) - 1) % hostsPerPod) / half }
 	hostDown := func(dst pkt.NodeID) int { return (int(dst) - 1) % half }
@@ -178,7 +288,6 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 			return hostPod(pk.Dst)
 		})
 	}
-	return ft
 }
 
 // ecmpAggSalt decorrelates the aggregation tier's ECMP hash from the
@@ -204,27 +313,13 @@ func blockOf(i, n, shards int) int { return i * shards / n }
 // agg<->core cables between different blocks (every one with delay
 // cfg.Delay = the lookahead). shards == 1 degenerates to the serial
 // wiring on one shard engine; shards must not exceed the pod count.
-// FatTree.Eng is shard 0's engine; drive with coord.RunUntil.
+// FatTree.Eng is shard 0's engine; drive with coord.RunUntil. Each
+// shard's node state comes from its own arena, so shard-hot state
+// never false-shares a cache line with a neighbour's.
 func NewFatTreeSharded(coord *sim.Coordinator, cfg FatTreeConfig, shards int) (*FatTree, *Partition) {
-	if cfg.K == 0 {
-		cfg.K = 4
-	}
-	if cfg.K%2 != 0 {
-		panic("topo: fat-tree K must be even")
-	}
-	if cfg.Rate == 0 {
-		cfg.Rate = 10 * units.Gbps
-	}
-	if cfg.Delay == 0 {
-		cfg.Delay = time.Microsecond
-	}
-
-	k := cfg.K
-	half := k / 2
-	pods := k
-	hostsPerPod := half * half
-	nHosts := pods * hostsPerPod
-	nCores := half * half
+	sh := cfg.shape()
+	k, half, pods := sh.k, sh.half, sh.pods
+	hostsPerPod, nHosts, nCores := sh.hostsPerPod, sh.nHosts, sh.nCores
 	if shards > pods {
 		panic("topo: fat-tree shard count must not exceed the pod count")
 	}
@@ -232,58 +327,68 @@ func NewFatTreeSharded(coord *sim.Coordinator, cfg FatTreeConfig, shards int) (*
 	podShard := func(p int) int { return blockOf(p, pods, shards) }
 	coreShard := func(c int) int { return blockOf(c, nCores, shards) }
 
-	ft := &FatTree{Eng: sb.engine(0), cfg: cfg}
+	engs := make([]*sim.Engine, shards)
+	for s := 0; s < shards; s++ {
+		engs[s] = sb.engine(s)
+	}
+	fa := newFTAlloc(&cfg.Ports, engs, sh, podShard, coreShard)
+
+	ft := &FatTree{Eng: sb.engine(0), cfg: cfg, arenas: fa.arenas}
+	ft.Hosts = make([]*netsim.Host, 0, nHosts)
+	ft.Edges = make([]*netsim.Switch, 0, pods*half)
+	ft.Aggs = make([]*netsim.Switch, 0, pods*half)
+	ft.Cores = make([]*netsim.Switch, 0, nCores)
 	base := switchIDBase(nHosts)
 	for i := 0; i < pods*half; i++ {
-		sh := podShard(i / half)
+		s := podShard(i / half)
 		eid, aid := pkt.NodeID(base+1+i), pkt.NodeID(2*base+1+i)
-		sb.assign(eid, sh)
-		sb.assign(aid, sh)
-		ft.Edges = append(ft.Edges, netsim.NewSwitch(sb.engine(sh), eid))
-		ft.Aggs = append(ft.Aggs, netsim.NewSwitch(sb.engine(sh), aid))
+		sb.assign(eid, s)
+		sb.assign(aid, s)
+		ft.Edges = append(ft.Edges, fa.newSwitch(s, eid, k))
+		ft.Aggs = append(ft.Aggs, fa.newSwitch(s, aid, k))
 	}
 	for i := 0; i < nCores; i++ {
 		id := pkt.NodeID(3*base + 1 + i)
 		sb.assign(id, coreShard(i))
-		ft.Cores = append(ft.Cores, netsim.NewSwitch(sb.engine(coreShard(i)), id))
+		ft.Cores = append(ft.Cores, fa.newSwitch(coreShard(i), id, pods))
 	}
 
-	link := func(from netsim.Node, to netsim.Node) *netsim.Link {
-		return sb.link(from.NodeID(), to.NodeID(), cfg.Rate, cfg.Delay, to)
+	link := func(from netsim.Node, to netsim.Node) netsim.Link {
+		return sb.linkVal(from.NodeID(), to.NodeID(), cfg.Rate, cfg.Delay, to)
 	}
 	// Same per-(pod, core) cable-length formula as the serial builder;
 	// these are the cut links, so a skew here also diversifies the
 	// coordinator's per-channel delays.
-	fabricLink := func(p, c int, from, to netsim.Node) *netsim.Link {
+	fabricLink := func(p, c int, from, to netsim.Node) netsim.Link {
 		d := cfg.Delay + time.Duration(1+p*nCores+c)*cfg.FabricDelaySkew
-		return sb.link(from.NodeID(), to.NodeID(), cfg.Rate, d, to)
+		return sb.linkVal(from.NodeID(), to.NodeID(), cfg.Rate, d, to)
 	}
 
 	// Hosts and host<->edge links (pod-local, never cut).
 	for i := 0; i < nHosts; i++ {
 		p := i / hostsPerPod
+		s := podShard(p)
 		edge := ft.Edges[p*half+(i%hostsPerPod)/half]
 		id := pkt.NodeID(i + 1)
-		sb.assign(id, podShard(p))
-		h := netsim.NewHost(sb.engine(podShard(p)), id)
-		h.AttachNIC(link(h, edge))
-		edge.AddPort(cfg.Ports.newPort(sb.engine(podShard(p)), link(edge, h)))
+		sb.assign(id, s)
+		h := fa.newHost(s, id, link2(sb, id, edge, cfg.Rate, cfg.Delay))
+		edge.AddPort(fa.newPort(s, link(edge, h)))
 		ft.Hosts = append(ft.Hosts, h)
 	}
 
 	// Edge<->agg links, pod by pod (pod-local, never cut).
 	for p := 0; p < pods; p++ {
-		eng := sb.engine(podShard(p))
+		s := podShard(p)
 		for e := 0; e < half; e++ {
 			edge := ft.Edges[p*half+e]
 			for j := 0; j < half; j++ {
-				edge.AddPort(cfg.Ports.newPort(eng, link(edge, ft.Aggs[p*half+j])))
+				edge.AddPort(fa.newPort(s, link(edge, ft.Aggs[p*half+j])))
 			}
 		}
 		for j := 0; j < half; j++ {
 			agg := ft.Aggs[p*half+j]
 			for e := 0; e < half; e++ {
-				agg.AddPort(cfg.Ports.newPort(eng, link(agg, ft.Edges[p*half+e])))
+				agg.AddPort(fa.newPort(s, link(agg, ft.Edges[p*half+e])))
 			}
 		}
 	}
@@ -292,55 +397,28 @@ func NewFatTreeSharded(coord *sim.Coordinator, cfg FatTreeConfig, shards int) (*
 		for j := 0; j < half; j++ {
 			agg := ft.Aggs[p*half+j]
 			for i := 0; i < half; i++ {
-				agg.AddPort(cfg.Ports.newPort(sb.engine(podShard(p)),
+				agg.AddPort(fa.newPort(podShard(p),
 					fabricLink(p, j*half+i, agg, ft.Cores[j*half+i])))
 			}
 		}
 	}
 	for c, core := range ft.Cores {
 		for p := 0; p < pods; p++ {
-			core.AddPort(cfg.Ports.newPort(sb.engine(coreShard(c)),
+			core.AddPort(fa.newPort(coreShard(c),
 				fabricLink(p, c, core, ft.Aggs[p*half+c/half])))
 		}
 	}
 
-	// Routing, identical to the serial builder.
-	hostPod := func(dst pkt.NodeID) int { return (int(dst) - 1) / hostsPerPod }
-	hostEdge := func(dst pkt.NodeID) int { return ((int(dst) - 1) % hostsPerPod) / half }
-	hostDown := func(dst pkt.NodeID) int { return (int(dst) - 1) % half }
-	for i, edge := range ft.Edges {
-		p, e := i/half, i%half
-		edge.SetRoute(func(pk *pkt.Packet) int {
-			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
-				return -1
-			}
-			if hostPod(pk.Dst) == p && hostEdge(pk.Dst) == e {
-				return hostDown(pk.Dst)
-			}
-			return half + int(ecmpHash(uint64(pk.Flow))%uint64(half))
-		})
-	}
-	for i, agg := range ft.Aggs {
-		p := i / half
-		agg.SetRoute(func(pk *pkt.Packet) int {
-			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
-				return -1
-			}
-			if hostPod(pk.Dst) == p {
-				return hostEdge(pk.Dst)
-			}
-			return half + int(ecmpHash(uint64(pk.Flow)^ecmpAggSalt)%uint64(half))
-		})
-	}
-	for _, core := range ft.Cores {
-		core.SetRoute(func(pk *pkt.Packet) int {
-			if int(pk.Dst) < 1 || int(pk.Dst) > nHosts {
-				return -1
-			}
-			return hostPod(pk.Dst)
-		})
-	}
+	ft.installRoutes(sh)
 	return ft, sb.part
+}
+
+// link2 wires the host->edge link (host IDs are assigned immediately
+// before their NIC is attached, so the generic from-node helper cannot
+// be closed over the host pointer yet).
+func link2(sb *shardBuilder, from pkt.NodeID, to netsim.Node,
+	rate units.Rate, delay time.Duration) netsim.Link {
+	return sb.linkVal(from, to.NodeID(), rate, delay, to)
 }
 
 // NumHosts returns the host count (k^3/4).
@@ -348,6 +426,17 @@ func (ft *FatTree) NumHosts() int { return len(ft.Hosts) }
 
 // Host returns host by index (0-based).
 func (ft *FatTree) Host(i int) *netsim.Host { return ft.Hosts[i] }
+
+// ArenaOverflow reports how many node objects missed the builders'
+// arena reservations (0 for a correctly sized build — asserted by the
+// wiring tests).
+func (ft *FatTree) ArenaOverflow() int {
+	total := 0
+	for _, a := range ft.arenas {
+		total += a.Overflow()
+	}
+	return total
+}
 
 // BaseRTT returns the unloaded inter-pod RTT estimate (host -> edge ->
 // agg -> core -> agg -> edge -> host and back): the value used for ECN

@@ -88,6 +88,148 @@ func TestFatTreeInterPodFlow(t *testing.T) {
 	}
 }
 
+// slabProfile is the memory-lean port profile the k=32 fabric ships
+// with: schedulers carved from per-shard blocks and one shared
+// stateless marker instead of per-port factories.
+func slabProfile() PortProfile {
+	return PortProfile{
+		Weights:       EqualWeights(1),
+		NewSchedBlock: FIFOBlocks(),
+	}
+}
+
+// TestFatTree32Wiring checks the arena-backed builder at its headline
+// scale: 8192 hosts and the full three-tier switch complement, with
+// every node carved from the reserved slabs (zero arena overflow).
+func TestFatTree32Wiring(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 32, Ports: slabProfile()})
+	if ft.NumHosts() != 8192 {
+		t.Fatalf("hosts = %d, want 8192", ft.NumHosts())
+	}
+	if len(ft.Edges) != 512 || len(ft.Aggs) != 512 || len(ft.Cores) != 256 {
+		t.Fatalf("switches = %d/%d/%d, want 512/512/256",
+			len(ft.Edges), len(ft.Aggs), len(ft.Cores))
+	}
+	for _, sw := range append(append([]*netsim.Switch{}, ft.Edges...), ft.Aggs...) {
+		if sw.NumPorts() != 32 {
+			t.Fatalf("switch %d ports = %d, want 32", sw.NodeID(), sw.NumPorts())
+		}
+	}
+	for _, sw := range ft.Cores {
+		if sw.NumPorts() != 32 { // one per pod
+			t.Fatalf("core %d ports = %d, want 32", sw.NodeID(), sw.NumPorts())
+		}
+	}
+	if ov := ft.ArenaOverflow(); ov != 0 {
+		t.Fatalf("arena overflow = %d, want 0 (spec under-reserved)", ov)
+	}
+}
+
+// TestFatTree32Reachability spot-checks routing at k=32 (all-pairs is
+// 67M packets; a stride sample crossing every tier and pod is enough on
+// top of the exhaustive k=4 check).
+func TestFatTree32Reachability(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 32, Ports: slabProfile()})
+	n := ft.NumHosts()
+	sent := 0
+	for src := 0; src < n; src += 509 { // prime stride: pods and edges vary
+		dst := (src + n/2 + 1) % n
+		ft.Host(src).Send(&pkt.Packet{
+			Flow: pkt.FlowID(src + 1),
+			Src:  pkt.NodeID(src + 1),
+			Dst:  pkt.NodeID(dst + 1),
+			Size: 100,
+		})
+		sent++
+	}
+	eng.Run()
+	var delivered int64
+	for _, h := range ft.Hosts {
+		delivered += h.RxPackets()
+	}
+	if delivered != int64(sent) {
+		t.Fatalf("delivered %d of %d sampled packets", delivered, sent)
+	}
+	all := append(append(append([]*netsim.Switch{}, ft.Edges...), ft.Aggs...), ft.Cores...)
+	for _, sw := range all {
+		if sw.RouteDrops() != 0 {
+			t.Fatalf("switch %d dropped %d packets for lack of routes",
+				sw.NodeID(), sw.RouteDrops())
+		}
+	}
+}
+
+// TestFatTree32ShardedPartition: the pod-sharded k=32 build assigns
+// every node to a shard, honors the pod block partition, and still
+// carves entirely from the arenas (one per shard).
+func TestFatTree32ShardedPartition(t *testing.T) {
+	coord := sim.NewCoordinator()
+	ft, part := NewFatTreeSharded(coord, FatTreeConfig{K: 32, Ports: slabProfile()}, 8)
+	if ft.NumHosts() != 8192 {
+		t.Fatalf("hosts = %d, want 8192", ft.NumHosts())
+	}
+	if ov := ft.ArenaOverflow(); ov != 0 {
+		t.Fatalf("arena overflow = %d, want 0", ov)
+	}
+	seen := make(map[int]int)
+	for _, h := range ft.Hosts {
+		s, ok := part.ShardOf(h.NodeID())
+		if !ok {
+			t.Fatalf("host %d not assigned to any shard", h.NodeID())
+		}
+		seen[s]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("hosts landed on %d shards, want 8", len(seen))
+	}
+	// Pods block-partition evenly: 32 pods over 8 shards = 4 pods (1024
+	// hosts) each.
+	for s, n := range seen {
+		if n != 1024 {
+			t.Fatalf("shard %d holds %d hosts, want 1024", s, n)
+		}
+	}
+	for _, sw := range append(append(append([]*netsim.Switch{}, ft.Edges...), ft.Aggs...), ft.Cores...) {
+		if _, ok := part.ShardOf(sw.NodeID()); !ok {
+			t.Fatalf("switch %d not assigned to any shard", sw.NodeID())
+		}
+	}
+}
+
+// TestFatTree32ECMPSpread: flow-level ECMP must spread a same-pair flow
+// bundle across many of the 256 core switches at k=32.
+func TestFatTree32ECMPSpread(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 32, Ports: slabProfile()})
+	const flows = 256
+	for fl := 0; fl < flows; fl++ {
+		ft.Host(0).Send(&pkt.Packet{
+			Flow: pkt.FlowID(fl + 1),
+			Src:  1,
+			Dst:  pkt.NodeID(ft.NumHosts()),
+			Size: 100,
+		})
+	}
+	eng.Run()
+	coresUsed := 0
+	for _, c := range ft.Cores {
+		var tx int64
+		for i := 0; i < c.NumPorts(); i++ {
+			tx += c.Port(i).TxPackets()
+		}
+		if tx > 0 {
+			coresUsed++
+		}
+	}
+	// 256 flows over 256 cores: a uniform hash lands on ~63% distinct;
+	// 1/4 of that is a loose floor that still catches a collapsed hash.
+	if coresUsed < 40 {
+		t.Fatalf("%d flows used only %d of %d core switches", flows, coresUsed, len(ft.Cores))
+	}
+}
+
 func TestFatTreeECMPSpread(t *testing.T) {
 	// Many flows between the same pod pair must spread across several
 	// core switches (flow-level ECMP, salted at the agg tier).

@@ -141,14 +141,22 @@ func (sb *shardBuilder) assign(id pkt.NodeID, shard int) {
 // depending on whether their shards match.
 func (sb *shardBuilder) link(from, to pkt.NodeID, rate units.Rate,
 	delay time.Duration, dst netsim.Node) *netsim.Link {
+	l := sb.linkVal(from, to, rate, delay, dst)
+	return &l
+}
+
+// linkVal is link returning the link by value, for builders that embed
+// links in arena port slots instead of heap-allocating each one.
+func (sb *shardBuilder) linkVal(from, to pkt.NodeID, rate units.Rate,
+	delay time.Duration, dst netsim.Node) netsim.Link {
 	sf := sb.part.mustShardOf(from)
 	st := sb.part.mustShardOf(to)
 	if sf == st {
-		return netsim.NewLink(sb.engine(sf), rate, delay, dst)
+		return netsim.LocalLink(sb.engine(sf), rate, delay, dst)
 	}
 	b := sb.coord.Boundary(sb.shards[sf], sb.shards[st], delay)
 	sb.part.Cuts = append(sb.part.Cuts, CutEdge{
 		From: from, To: to, SrcShard: sf, DstShard: st, Delay: delay,
 	})
-	return netsim.NewBoundaryLink(b, rate, dst)
+	return netsim.BoundaryLink(b, rate, dst)
 }

@@ -29,12 +29,19 @@ type SchedFactory func(weights []float64) sched.Scheduler
 // the door open for stateful schemes and per-port pools.
 type MarkerFactory func() ecn.Marker
 
+// SchedBlockFactory builds a slab-backed scheduler dispenser for ~n
+// ports driven by one engine: the returned function hands out one
+// scheduler per call, carved from shared backing arrays (see
+// sched.FIFOBlock / sched.DWRRBlock). Fabric builders call the factory
+// once per shard engine; n is a sizing hint, not a limit.
+type SchedBlockFactory func(eng *sim.Engine, weights []float64, n int) func() sched.Scheduler
+
 // PortProfile is the per-port configuration applied across a topology.
 type PortProfile struct {
 	// Weights are the queue weights (length = queue count).
 	Weights []float64
 	// NewSched builds each port's scheduler (required unless
-	// NewSchedWith is set).
+	// NewSchedWith or NewSchedBlock is set).
 	NewSched SchedFactory
 	// NewSchedWith, when non-nil, overrides NewSched and receives the
 	// engine driving the port. Sharded topologies need it: ports live on
@@ -42,27 +49,52 @@ type PortProfile struct {
 	// DWRRFactory's) would feed every other shard's schedulers the wrong
 	// time.
 	NewSchedWith func(eng *sim.Engine, weights []float64) sched.Scheduler
+	// NewSchedBlock, when non-nil, takes precedence over both factories
+	// above: builders that know their port count use it to carve every
+	// scheduler of a shard from a few slabs instead of allocating each
+	// one separately (the k=32 memory path).
+	NewSchedBlock SchedBlockFactory
 	// NewMarker builds each port's marker (nil = no marking).
 	NewMarker MarkerFactory
+	// SharedMarker, when non-nil, is installed on every port instead of
+	// calling NewMarker per port. Only markers that keep no per-port
+	// state may be shared — which all schemes in this repository
+	// satisfy (they read the port through ecn.PortView on each
+	// decision) — and sharing collapses tens of thousands of identical
+	// marker objects into one.
+	SharedMarker ecn.Marker
 	// BufferBytes is the shared per-port buffer (0 = unlimited).
 	BufferBytes int
 }
 
+// marker picks the profile's marker for one port.
+func (pp *PortProfile) marker() ecn.Marker {
+	if pp.SharedMarker != nil {
+		return pp.SharedMarker
+	}
+	if pp.NewMarker != nil {
+		return pp.NewMarker()
+	}
+	return nil
+}
+
+// scheduler builds one scheduler outside a block context.
+func (pp *PortProfile) scheduler(eng *sim.Engine) sched.Scheduler {
+	switch {
+	case pp.NewSchedBlock != nil:
+		return pp.NewSchedBlock(eng, pp.Weights, 1)()
+	case pp.NewSchedWith != nil:
+		return pp.NewSchedWith(eng, pp.Weights)
+	default:
+		return pp.NewSched(pp.Weights)
+	}
+}
+
 // newPort instantiates one port from the profile.
 func (pp PortProfile) newPort(eng *sim.Engine, link *netsim.Link) *netsim.Port {
-	var m ecn.Marker
-	if pp.NewMarker != nil {
-		m = pp.NewMarker()
-	}
-	var sc sched.Scheduler
-	if pp.NewSchedWith != nil {
-		sc = pp.NewSchedWith(eng, pp.Weights)
-	} else {
-		sc = pp.NewSched(pp.Weights)
-	}
 	return netsim.NewPort(eng, link, netsim.PortConfig{
-		Sched:       sc,
-		Marker:      m,
+		Sched:       pp.scheduler(eng),
+		Marker:      pp.marker(),
 		BufferBytes: pp.BufferBytes,
 	})
 }
@@ -124,6 +156,25 @@ func SPWFQFactory(high int) SchedFactory {
 // FIFOFactory returns a SchedFactory building single-queue FIFOs.
 func FIFOFactory() SchedFactory {
 	return func([]float64) sched.Scheduler { return sched.NewFIFO() }
+}
+
+// FIFOBlocks returns a SchedBlockFactory carving single-queue FIFOs
+// from per-shard slabs.
+func FIFOBlocks() SchedBlockFactory {
+	return func(_ *sim.Engine, _ []float64, n int) func() sched.Scheduler {
+		b := sched.NewFIFOBlock(n)
+		return func() sched.Scheduler { return b.Next() }
+	}
+}
+
+// DWRRBlocks returns a SchedBlockFactory carving DWRR schedulers from
+// per-shard slabs, each wired to its shard engine's clock (so MQ-ECN
+// round times stay correct across shards).
+func DWRRBlocks() SchedBlockFactory {
+	return func(eng *sim.Engine, weights []float64, n int) func() sched.Scheduler {
+		b := sched.NewDWRRBlock(n, weights, units.MTU, sched.WithClock(eng.Now))
+		return func() sched.Scheduler { return b.Next() }
+	}
 }
 
 // BaseRTT estimates the unloaded round-trip time of a path with the
